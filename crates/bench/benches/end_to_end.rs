@@ -1,0 +1,43 @@
+//! Macro-bench: full control-loop eras and whole experiments — what one
+//! wall-clock second of harness time buys in simulated cluster time.
+
+use acm_core::config::{ExperimentConfig, PredictorChoice};
+use acm_core::control_loop::ControlLoop;
+use acm_core::framework::{build_vmcs, run_experiment};
+use acm_core::policy::PolicyKind;
+use acm_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn oracle_cfg(eras: usize) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::three_region_fig4(PolicyKind::AvailableResources, 7);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = eras;
+    cfg
+}
+
+fn bench_single_era(c: &mut Criterion) {
+    c.bench_function("control_loop_step_era", |b| {
+        let cfg = oracle_cfg(1);
+        let mut rng = SimRng::new(cfg.seed);
+        let vmcs = build_vmcs(&cfg, &mut rng);
+        let mut cl = ControlLoop::new(&cfg, vmcs, rng);
+        b.iter(|| {
+            cl.step_era();
+            black_box(cl.now())
+        })
+    });
+}
+
+fn bench_full_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    group.bench_function("fig4_oracle_40_eras", |b| {
+        let cfg = oracle_cfg(40);
+        b.iter(|| black_box(run_experiment(&cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_era, bench_full_experiment);
+criterion_main!(benches);

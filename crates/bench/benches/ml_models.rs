@@ -1,0 +1,47 @@
+//! Micro-bench: F2PM model training and prediction per family on a real
+//! harvested feature database — the cost of the toolchain's initial phase
+//! and of the per-era RTTF predictions in Alg. 1.
+
+use acm_ml::model::{ModelKind, Regressor};
+use acm_pcam::training::{collect_database, CollectionConfig};
+use acm_sim::rng::SimRng;
+use acm_vm::{AnomalyConfig, FailureSpec, VmFlavor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let mut rng = SimRng::new(2016);
+    let db = collect_database(
+        &VmFlavor::m3_medium(),
+        &AnomalyConfig::default(),
+        &FailureSpec::default(),
+        &CollectionConfig::default(),
+        &mut rng,
+    );
+
+    let mut train = c.benchmark_group("ml_train");
+    train.sample_size(10);
+    for kind in ModelKind::ALL {
+        train.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut r = SimRng::new(5);
+                black_box(kind.fit(black_box(&db), &mut r))
+            })
+        });
+    }
+    train.finish();
+
+    let mut predict = c.benchmark_group("ml_predict");
+    let row = db.row(db.len() / 2).to_vec();
+    for kind in ModelKind::ALL {
+        let mut r = SimRng::new(5);
+        let model = kind.fit(&db, &mut r);
+        predict.bench_function(kind.name(), |b| {
+            b.iter(|| black_box(model.predict_one(black_box(&row))))
+        });
+    }
+    predict.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

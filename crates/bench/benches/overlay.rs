@@ -1,0 +1,63 @@
+//! Micro-bench: overlay routing and leader election — the control-plane
+//! costs of Analyze/Execute message exchange and of VMC failover.
+
+use acm_overlay::election;
+use acm_overlay::graph::{NodeId, OverlayGraph};
+use acm_overlay::routing::dijkstra;
+use acm_sim::rng::SimRng;
+use acm_sim::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn random_graph(n: u32, edge_prob: f64, seed: u64) -> OverlayGraph {
+    let mut rng = SimRng::new(seed);
+    let mut g = OverlayGraph::new();
+    for i in 0..n {
+        g.add_node(NodeId(i));
+    }
+    // Ring for connectivity plus random chords.
+    for i in 0..n {
+        g.add_link(
+            NodeId(i),
+            NodeId((i + 1) % n),
+            Duration::from_millis(rng.index(50) as u64 + 1),
+        );
+    }
+    for i in 0..n {
+        for j in (i + 2)..n {
+            if rng.bernoulli(edge_prob) {
+                g.add_link(
+                    NodeId(i),
+                    NodeId(j),
+                    Duration::from_millis(rng.index(80) as u64 + 1),
+                );
+            }
+        }
+    }
+    g
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    for &n in &[3u32, 16, 64] {
+        let g = random_graph(n, 0.1, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(dijkstra(&g, NodeId(0), NodeId(n - 1))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_election(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leader_election");
+    for &n in &[3u32, 16, 64] {
+        let g = random_graph(n, 0.1, 43);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(election::elect(&g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing, bench_election);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-bench: one `POLICY()` evaluation (paper Alg. 2 inner call) for
+//! each policy at growing region counts — the leader-side cost of the
+//! planning state.
+
+use acm_core::ewma::RmttfEwma;
+use acm_core::plan::ForwardPlan;
+use acm_core::policy::{uniform_fractions, LoadBalancingPolicy, PolicyKind};
+use acm_sim::rng::SimRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_step");
+    for &n in &[3usize, 16, 128] {
+        let mut rng = SimRng::new(7);
+        let prev = uniform_fractions(n);
+        let rmttf: Vec<f64> = (0..n).map(|_| rng.uniform(100.0, 1000.0)).collect();
+        for kind in PolicyKind::ALL {
+            let policy = LoadBalancingPolicy::new(kind);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &n,
+                |b, _| {
+                    let mut r = SimRng::new(9);
+                    b.iter(|| {
+                        black_box(policy.next_fractions(
+                            black_box(&prev),
+                            black_box(&rmttf),
+                            100.0,
+                            &mut r,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_forward_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_plan");
+    for &n in &[3usize, 16, 128] {
+        let mut rng = SimRng::new(11);
+        let norm = |raw: Vec<f64>| {
+            let s: f64 = raw.iter().sum();
+            raw.into_iter().map(|x| x / s).collect::<Vec<_>>()
+        };
+        let ingress = norm((0..n).map(|_| rng.uniform(0.1, 1.0)).collect());
+        let target = norm((0..n).map(|_| rng.uniform(0.1, 1.0)).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(ForwardPlan::build(black_box(&ingress), black_box(&target))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ewma(c: &mut Criterion) {
+    c.bench_function("ewma_update_1k", |b| {
+        let mut rng = SimRng::new(13);
+        let inputs: Vec<f64> = (0..1000).map(|_| rng.uniform(100.0, 1000.0)).collect();
+        b.iter(|| {
+            let mut e = RmttfEwma::new(0.8);
+            let mut last = 0.0;
+            for &x in &inputs {
+                last = e.update(x);
+            }
+            black_box(last)
+        })
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_forward_plan, bench_ewma);
+criterion_main!(benches);

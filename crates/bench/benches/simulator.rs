@@ -1,0 +1,86 @@
+//! Micro-bench: the simulation substrate — event-queue throughput, RNG
+//! draws, and one VM control era (the inner loop of every experiment).
+
+use acm_sim::event::EventQueue;
+use acm_sim::rng::SimRng;
+use acm_sim::sim::Simulator;
+use acm_sim::time::{Duration, SimTime};
+use acm_vm::{AnomalyConfig, FailureSpec, Vm, VmFlavor, VmId, VmState};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = SimRng::new(1);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_micros(rng.next_u64() % 1_000_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulator_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(0u64);
+            fn chain(s: &mut Simulator<u64>) {
+                s.world += 1;
+                if s.world < 10_000 {
+                    s.schedule_in(Duration::from_micros(10), chain);
+                }
+            }
+            sim.schedule_at(SimTime::ZERO, chain);
+            sim.run_to_completion(u64::MAX);
+            black_box(sim.world)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_exponential_1k", |b| {
+        let mut rng = SimRng::new(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..1000 {
+                acc += rng.exponential(7.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_vm_era(c: &mut Criterion) {
+    c.bench_function("vm_process_era", |b| {
+        let mut vm = Vm::new(
+            VmId(0),
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            VmState::Active,
+            SimRng::new(4),
+        );
+        let mut now = SimTime::ZERO;
+        let era = Duration::from_secs(30);
+        b.iter(|| {
+            let out = vm.process_era(now, era, 10.0);
+            now += era;
+            if !vm.is_active() {
+                vm.start_rejuvenation(now, Duration::from_secs(1));
+                now += Duration::from_secs(1);
+                vm.poll_rejuvenation(now);
+                vm.activate(now);
+            }
+            black_box(out)
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_simulator, bench_rng, bench_vm_era);
+criterion_main!(benches);

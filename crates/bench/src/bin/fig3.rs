@@ -1,0 +1,150 @@
+//! Regenerates **Figure 3** of the paper: the two-region hybrid deployment
+//! (EC2 Ireland 6 × m3.medium + private Munich 4 VMs), one column per
+//! policy, rows = (RMTTF per region, workload fraction `f_i` per region,
+//! client response time).
+//!
+//! ```text
+//! cargo run --release -p acm-bench --bin fig3
+//! ```
+//!
+//! Writes `results/fig3-<policy>.csv` (full per-era series, the plottable
+//! figure data) and prints a steady-state summary plus the qualitative
+//! scorecard (claims C1–C4 of DESIGN.md §1).
+
+use acm_bench::plot::ascii_chart;
+use acm_bench::{print_scorecard, run_and_dump, tail_window, Claim};
+use acm_core::config::ExperimentConfig;
+use acm_core::policy::PolicyKind;
+use acm_core::telemetry::ExperimentTelemetry;
+
+fn charts(tel: &ExperimentTelemetry) {
+    let names = tel.region_names();
+    let rmttf: Vec<(&str, Vec<f64>)> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), tel.rmttf(i).values().collect()))
+        .collect();
+    let rmttf_refs: Vec<(&str, &[f64])> =
+        rmttf.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    print!("{}", ascii_chart("RMTTF (s)", &rmttf_refs, 100, 10));
+    let fracs: Vec<(&str, Vec<f64>)> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), tel.fraction(i).values().collect()))
+        .collect();
+    let frac_refs: Vec<(&str, &[f64])> =
+        fracs.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    print!("{}", ascii_chart("fraction f_i", &frac_refs, 100, 8));
+    let resp: Vec<f64> = tel.global_response().values().map(|v| v * 1000.0).collect();
+    print!(
+        "{}",
+        ascii_chart("client response (ms)", &[("global", &resp)], 100, 6)
+    );
+}
+
+fn summarise(policy: PolicyKind, tel: &ExperimentTelemetry) {
+    let w = tail_window(tel);
+    println!("\n=== {policy} ===");
+    println!(
+        "{:>16} {:>12} {:>10} {:>12}",
+        "region", "rmttf(s)", "f", "resp(ms)"
+    );
+    for (i, name) in tel.region_names().iter().enumerate() {
+        println!(
+            "{:>16} {:>12.0} {:>10.3} {:>12.1}",
+            name,
+            tel.rmttf(i).tail_stats(w).mean(),
+            tel.fraction(i).tail_stats(w).mean(),
+            tel.response(i).tail_stats(w).mean() * 1000.0,
+        );
+    }
+    println!(
+        "spread={:.3}  converged={}  f-oscillation={:.4}  max-f-step={:.3}  client-resp={:.0} ms",
+        tel.rmttf_spread(w),
+        tel.convergence_era(1.25)
+            .map_or("never".into(), |e| format!("era {e}")),
+        tel.fraction_oscillation(w),
+        tel.fraction_max_step(w),
+        tel.tail_response(w) * 1000.0,
+    );
+}
+
+fn main() {
+    println!("Figure 3 — two heterogeneous regions, three policies, 120 eras x 30 s");
+    println!("(CSV columns: per-region RMTTF, f, response, active VMs + global signals)");
+
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016);
+
+    let mut tels = Vec::new();
+    for policy in PolicyKind::ALL {
+        let cfg = ExperimentConfig::two_region_fig3(policy, seed);
+        let tel = run_and_dump(&cfg);
+        summarise(policy, &tel);
+        charts(&tel);
+        tels.push(tel);
+    }
+    let [p1, p2, p3] = &tels[..] else { unreachable!() };
+    let w = tail_window(p1);
+
+    let claims = vec![
+        Claim {
+            id: "C1",
+            statement: "Policy 1: RMTTFs do not converge (stabilise at different values)".into(),
+            holds: p1.rmttf_spread(w) > 1.4,
+            evidence: format!("P1 spread {:.2}", p1.rmttf_spread(w)),
+        },
+        Claim {
+            id: "C2a",
+            statement: "Policy 2 converges (RMTTFs equalise)".into(),
+            holds: p2.rmttf_spread(w) < 1.25,
+            evidence: format!("P2 spread {:.2}", p2.rmttf_spread(w)),
+        },
+        Claim {
+            id: "C2b",
+            statement: "Policy 2 converges faster than Policy 3".into(),
+            holds: match (p2.convergence_era(1.25), p3.convergence_era(1.25)) {
+                (Some(a), Some(b)) => a <= b,
+                (Some(_), None) => true,
+                _ => false,
+            },
+            evidence: format!(
+                "P2 {:?}, P3 {:?}",
+                p2.convergence_era(1.25),
+                p3.convergence_era(1.25)
+            ),
+        },
+        Claim {
+            id: "C3",
+            // "the quickest convergence and the most stable results are
+            // provided by Policy 2 … Policy 3 [is] similarly valid, yet can
+            // suffer more from its intrinsic randomness" — stability here
+            // is the RMTTF equalisation the policies aim at. (The paper's
+            // own f_i-noise comparison flips sign between its Fig. 3 and
+            // Fig. 4 text, so we do not claim it.)
+            statement: "Policy 3 converges, but less stably than Policy 2".into(),
+            holds: p3.rmttf_spread(w) < 1.4 && p3.rmttf_spread(w) >= p2.rmttf_spread(w),
+            evidence: format!(
+                "RMTTF spread P3 {:.3} vs P2 {:.3} (both ≪ P1's {:.2})",
+                p3.rmttf_spread(w),
+                p2.rmttf_spread(w),
+                p1.rmttf_spread(w)
+            ),
+        },
+        Claim {
+            id: "C4",
+            statement: "client response time stays below the 1 s threshold for every policy".into(),
+            holds: tels.iter().all(|t| t.tail_response(w) < 1.0),
+            evidence: format!(
+                "tail responses {:?} ms",
+                tels.iter()
+                    .map(|t| (t.tail_response(w) * 1000.0).round())
+                    .collect::<Vec<_>>()
+            ),
+        },
+    ];
+    let failures = print_scorecard(&claims);
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

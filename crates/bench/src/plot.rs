@@ -1,0 +1,124 @@
+//! Terminal time-series rendering.
+//!
+//! The paper's figures are line plots; the regenerator binaries dump full
+//! CSVs for real plotting *and* render the series as small ASCII charts so
+//! the shapes (convergence, oscillation, spikes) are visible straight from
+//! the terminal.
+
+/// Renders one or more aligned series as an ASCII chart.
+///
+/// Each series gets its own glyph; overlapping points show the glyph of the
+/// last series drawn. The y-range spans all series jointly (so convergence
+/// of two RMTTF lines is visible as the glyphs meeting).
+pub fn ascii_chart(
+    title: &str,
+    series: &[(&str, &[f64])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 10 && height >= 3, "chart too small");
+    assert!(!series.is_empty(), "nothing to plot");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@'];
+
+    let n = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    if n == 0 {
+        return format!("{title}\n(empty series)\n");
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, values) in series {
+        for &v in values.iter().filter(|v| v.is_finite()) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return format!("{title}\n(no finite data)\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0; // flat line: give it one unit of headroom
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, values)) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for (i, &v) in values.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let x = if values.len() == 1 {
+                0
+            } else {
+                i * (width - 1) / (values.len() - 1)
+            };
+            let frac = (v - lo) / (hi - lo);
+            let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{} {name}", glyphs[si % glyphs.len()]))
+        .collect();
+    out.push_str(&format!("{title}   [{}]\n", legend.join("  ")));
+    for (row, line) in grid.iter().enumerate() {
+        let label = if row == 0 {
+            format!("{hi:>10.1} |")
+        } else if row == height - 1 {
+            format!("{lo:>10.1} |")
+        } else {
+            format!("{:>10} |", "")
+        };
+        out.push_str(&label);
+        out.extend(line.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>11}+{}\n", "", "-".repeat(width)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_min_and_max_labels() {
+        let values: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let chart = ascii_chart("ramp", &[("up", &values)], 40, 8);
+        assert!(chart.contains("49.0"));
+        assert!(chart.contains("0.0"));
+        assert!(chart.contains("* up"));
+        assert_eq!(chart.lines().count(), 10); // title + 8 rows + axis
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| (20 - i) as f64).collect();
+        let chart = ascii_chart("cross", &[("a", &a), ("b", &b)], 30, 6);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let flat = vec![5.0; 10];
+        let chart = ascii_chart("flat", &[("c", &flat)], 20, 4);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let chart = ascii_chart("none", &[("e", &[])], 20, 4);
+        assert!(chart.contains("empty"));
+    }
+
+    #[test]
+    fn non_finite_values_are_skipped() {
+        let values = [1.0, f64::NAN, 3.0];
+        let chart = ascii_chart("nan", &[("n", &values)], 20, 4);
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,563 @@
+//! The ACM closed control loop (paper Sec. V, Fig. 2, Algorithms 1–3).
+//!
+//! Each era the system walks the four states:
+//!
+//! * **Monitor** — every region's VMC collects features; the client
+//!   populations offer load per the interactive response-time law.
+//! * **Analyze** (Alg. 1) — every VMC predicts its region's RMTTF and
+//!   actuates PCAM locally; slaves ship `lastRMTTF_i` to the leader over
+//!   the overlay (reports are lost when the overlay cannot route — the
+//!   leader then keeps the stale value).
+//! * **Plan** (Alg. 2, leader only) — Eq. 1 EWMA per region, then the
+//!   configured `POLICY()` computes the next fractions `f_i^t`.
+//! * **Execute** (Alg. 3) — the new fractions are installed on every
+//!   reachable region's load balancer as a fresh global forward plan, and
+//!   autoscaling fires where the response-time / RMTTF thresholds demand.
+//!
+//! The loop also owns fault injection (scheduled overlay link faults) and
+//! leader re-election on membership changes.
+
+use crate::autoscale::{AutoscaleConfig, Autoscaler};
+use crate::config::{ExperimentConfig, LinkFault};
+use crate::ewma::RmttfEwma;
+use crate::plan::ForwardPlan;
+use crate::policy::{uniform_fractions, LoadBalancingPolicy};
+use crate::scenario::{Scenario, ScenarioAction};
+use crate::telemetry::{ExperimentTelemetry, RegionEraRecord};
+use acm_overlay::{ElectionOutcome, Elector, NodeId, OverlayGraph, Transport};
+use acm_pcam::Vmc;
+use acm_sim::rng::SimRng;
+use acm_sim::time::{Duration, SimTime};
+use acm_workload::RegionWorkload;
+
+/// The running multi-region control loop.
+pub struct ControlLoop {
+    era: Duration,
+    now: SimTime,
+    era_index: usize,
+    vmcs: Vec<Vmc>,
+    workloads: Vec<RegionWorkload>,
+    estimators: Vec<RmttfEwma>,
+    policy: LoadBalancingPolicy,
+    /// Fractions currently installed on the load balancers.
+    fractions: Vec<f64>,
+    /// Last forward plan (for churn accounting).
+    plan: Option<ForwardPlan>,
+    transport: Transport,
+    elector: Elector,
+    autoscale_cfg: AutoscaleConfig,
+    autoscalers: Vec<Autoscaler>,
+    /// Response time the clients of each ingress region observed last era.
+    observed_response: Vec<f64>,
+    /// The leader's latest received `lastRMTTF` per region (stale on loss).
+    received_rmttf: Vec<f64>,
+    pending_faults: Vec<LinkFault>,
+    recoveries_due: Vec<LinkFault>,
+    scenario: Scenario,
+    rng: SimRng,
+    telemetry: ExperimentTelemetry,
+}
+
+impl ControlLoop {
+    /// Wires the loop from pre-built VMCs (the framework module handles
+    /// predictor training and hands the VMCs in).
+    pub fn new(cfg: &ExperimentConfig, vmcs: Vec<Vmc>, mut rng: SimRng) -> Self {
+        cfg.validate().expect("invalid experiment config");
+        assert_eq!(vmcs.len(), cfg.regions.len(), "one VMC per region");
+        let n = cfg.regions.len();
+
+        let mut graph = OverlayGraph::new();
+        for i in 0..n {
+            graph.add_node(ExperimentConfig::node_of(i));
+        }
+        for (a, b, lat) in &cfg.latencies {
+            graph.add_link(
+                ExperimentConfig::node_of(*a),
+                ExperimentConfig::node_of(*b),
+                *lat,
+            );
+        }
+        let transport = Transport::new(graph);
+        let mut elector = Elector::new();
+        elector.re_elect(transport.graph());
+
+        let workloads = cfg.regions.iter().map(|r| r.workload()).collect();
+        let names = cfg
+            .regions
+            .iter()
+            .map(|r| r.region.name.clone())
+            .collect();
+        let region_costs: Vec<f64> = cfg
+            .regions
+            .iter()
+            .map(|r| r.region.vm_hour_usd)
+            .collect();
+        let policy = LoadBalancingPolicy::new(cfg.policy)
+            .with_k(cfg.k)
+            .with_noise(cfg.exploration_noise)
+            .with_region_costs(region_costs);
+
+        ControlLoop {
+            era: cfg.era,
+            now: SimTime::ZERO,
+            era_index: 0,
+            workloads,
+            estimators: vec![RmttfEwma::new(cfg.beta); n],
+            policy,
+            fractions: uniform_fractions(n),
+            plan: None,
+            transport,
+            elector,
+            autoscale_cfg: cfg.autoscale.clone(),
+            autoscalers: (0..n).map(|_| Autoscaler::new()).collect(),
+            observed_response: vec![0.0; n],
+            received_rmttf: vec![0.0; n],
+            pending_faults: cfg.link_faults.clone(),
+            recoveries_due: Vec::new(),
+            scenario: cfg.scenario.clone(),
+            rng: rng.split(),
+            telemetry: ExperimentTelemetry::new(names),
+            vmcs,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Telemetry so far.
+    pub fn telemetry(&self) -> &ExperimentTelemetry {
+        &self.telemetry
+    }
+
+    /// Consumes the loop, returning the telemetry.
+    pub fn into_telemetry(self) -> ExperimentTelemetry {
+        self.telemetry
+    }
+
+    /// The VMCs (for assertions in tests).
+    pub fn vmcs(&self) -> &[Vmc] {
+        &self.vmcs
+    }
+
+    /// Fractions currently installed.
+    pub fn fractions(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// Switches the leader's policy at runtime, keeping the tuning knobs
+    /// (k, jitter, region costs). The paper's framework "offers the
+    /// possibility to modify the deploy at runtime in case the workload
+    /// conditions change during the lifetime of the system" (Sec. II) —
+    /// this is the policy-level version of that capability.
+    pub fn set_policy(&mut self, kind: crate::policy::PolicyKind) {
+        self.policy = self.policy.clone().with_kind(kind);
+    }
+
+    /// The current election outcome.
+    pub fn election(&self) -> &ElectionOutcome {
+        self.elector.current().expect("election ran at construction")
+    }
+
+    /// The overlay node of the region the leader VMC lives in, as seen from
+    /// region-0's partition (the figure deployments are never partitioned).
+    fn leader_node(&self) -> NodeId {
+        let g = self.transport.graph();
+        // Leader of the partition containing the lowest alive node; if all
+        // nodes are dead fall back to node 0 (nothing routes anyway).
+        let alive = g.alive_nodes();
+        let probe = alive.first().copied().unwrap_or(NodeId(0));
+        self.election().leader(probe).unwrap_or(probe)
+    }
+
+    /// Applies due fault injections/recoveries. Returns whether topology
+    /// changed (forcing re-election).
+    fn apply_faults(&mut self) -> bool {
+        let now = self.now;
+        let mut changed = false;
+        let mut still_pending = Vec::new();
+        for f in self.pending_faults.drain(..) {
+            if f.fail_at <= now {
+                self.transport.fail_link(
+                    ExperimentConfig::node_of(f.a),
+                    ExperimentConfig::node_of(f.b),
+                );
+                self.recoveries_due.push(f);
+                changed = true;
+            } else {
+                still_pending.push(f);
+            }
+        }
+        self.pending_faults = still_pending;
+
+        let mut still_due = Vec::new();
+        for f in self.recoveries_due.drain(..) {
+            if f.recover_at <= now {
+                self.transport.recover_link(
+                    ExperimentConfig::node_of(f.a),
+                    ExperimentConfig::node_of(f.b),
+                );
+                changed = true;
+            } else {
+                still_due.push(f);
+            }
+        }
+        self.recoveries_due = still_due;
+
+        if changed {
+            self.elector.re_elect(self.transport.graph());
+        }
+        changed
+    }
+
+    /// Applies every scenario action due at `now` (Sec. II's runtime
+    /// reconfiguration). Re-elects if the topology changed.
+    fn apply_scenario(&mut self) {
+        let now = self.now;
+        let due = self.scenario.drain_due(now);
+        if due.is_empty() {
+            return;
+        }
+        let mut topology_changed = false;
+        for sa in due {
+            match sa.action {
+                ScenarioAction::SwitchPolicy(kind) => {
+                    self.policy = self.policy.clone().with_kind(kind);
+                }
+                ScenarioAction::FailLink { a, b } => {
+                    self.transport
+                        .fail_link(ExperimentConfig::node_of(a), ExperimentConfig::node_of(b));
+                    topology_changed = true;
+                }
+                ScenarioAction::RecoverLink { a, b } => {
+                    self.transport
+                        .recover_link(ExperimentConfig::node_of(a), ExperimentConfig::node_of(b));
+                    topology_changed = true;
+                }
+                ScenarioAction::SetTargetActive { region, target } => {
+                    let pool = self.vmcs[region].pool_mut();
+                    pool.set_target_active(target);
+                    pool.replenish_active(now);
+                    pool.demote_excess_active(now);
+                }
+                ScenarioAction::AddVm { region } => {
+                    self.vmcs[region].pool_mut().add_vm();
+                }
+            }
+        }
+        if topology_changed {
+            self.elector.re_elect(self.transport.graph());
+        }
+    }
+
+    /// Runs one full era of the closed loop.
+    // Index loops here deliberately walk several region-aligned vectors in
+    // lock-step; iterator zips would obscure the alignment.
+    #[allow(clippy::needless_range_loop)]
+    pub fn step_era(&mut self) {
+        let n = self.vmcs.len();
+        let t_start = self.now;
+        let t_end = t_start + self.era;
+
+        self.apply_faults();
+        self.apply_scenario();
+
+        // ----- MONITOR: client ingress under the interactive law ----------
+        let lambda_in: Vec<f64> = (0..n)
+            .map(|i| self.workloads[i].offered_rate(t_start, self.observed_response[i]))
+            .collect();
+        let lambda_total: f64 = lambda_in.iter().sum();
+        let ingress: Vec<f64> = if lambda_total > 0.0 {
+            lambda_in.iter().map(|l| l / lambda_total).collect()
+        } else {
+            uniform_fractions(n)
+        };
+
+        // Install the forward plan realising the current fractions.
+        let plan = ForwardPlan::build(&ingress, &self.fractions);
+        let churn = self.plan.as_ref().map_or(0.0, |prev| plan.churn_from(prev));
+        let remote = plan.remote_fraction();
+
+        // ----- region era processing (the "application data" plane) -------
+        let mut reports = Vec::with_capacity(n);
+        for j in 0..n {
+            let lambda_proc = plan.realised_share(j) * lambda_total;
+            reports.push(self.vmcs[j].process_era(t_start, self.era, lambda_proc));
+        }
+
+        // ----- ANALYZE: slaves report lastRMTTF to the leader --------------
+        let leader = self.leader_node();
+        for j in 0..n {
+            let node = ExperimentConfig::node_of(j);
+            if self.transport.prepare_send(node, leader).is_some() {
+                self.received_rmttf[j] = reports[j].last_rmttf;
+            }
+            // else: report lost; the leader keeps the stale value.
+        }
+
+        // ----- PLAN (leader): Eq. 1 then POLICY() --------------------------
+        let rmttf_now: Vec<f64> = (0..n)
+            .map(|j| self.estimators[j].update(self.received_rmttf[j]))
+            .collect();
+        let target =
+            self.policy
+                .next_fractions(&self.fractions, &rmttf_now, lambda_total, &mut self.rng);
+
+        // ----- EXECUTE: install the new plan, but only if EVERY region is
+        // reachable — a global forward plan installed on a strict subset of
+        // the load balancers would be inconsistent (fractions would no
+        // longer sum to one across the regions actually applying them), so
+        // the leader freezes the previous plan until connectivity returns.
+        let all_reachable = (0..n).all(|j| {
+            self.transport
+                .prepare_send(leader, ExperimentConfig::node_of(j))
+                .is_some()
+        });
+        if all_reachable {
+            self.fractions = target;
+        }
+
+        // Autoscaling (Alg. 3 lines 6–8).
+        for j in 0..n {
+            let mut scaler = std::mem::take(&mut self.autoscalers[j]);
+            scaler.step(
+                &self.autoscale_cfg,
+                &mut self.vmcs[j],
+                t_end,
+                reports[j].mean_response_s,
+                rmttf_now[j],
+            );
+            self.autoscalers[j] = scaler;
+        }
+
+        // ----- client-observed response times for the next era -------------
+        // A client attached to region i experiences the processing time of
+        // wherever its request was forwarded, plus the WAN round trip.
+        let mut observed = vec![0.0; n];
+        for i in 0..n {
+            let node_i = ExperimentConfig::node_of(i);
+            let mut r = 0.0;
+            for j in 0..n {
+                let frac = plan.fraction(i, j);
+                if frac == 0.0 {
+                    continue;
+                }
+                let rtt = if i == j {
+                    0.0
+                } else {
+                    self.transport
+                        .latency(node_i, ExperimentConfig::node_of(j))
+                        .map_or(0.0, |d| 2.0 * d.as_secs_f64())
+                };
+                r += frac * (reports[j].mean_response_s + rtt);
+            }
+            observed[i] = r;
+        }
+        self.observed_response = observed;
+        let global_response: f64 = ingress
+            .iter()
+            .zip(&self.observed_response)
+            .map(|(a, r)| a * r)
+            .sum();
+
+        // ----- telemetry ----------------------------------------------------
+        let records: Vec<RegionEraRecord> = (0..n)
+            .map(|j| RegionEraRecord {
+                rmttf: rmttf_now[j],
+                fraction: self.fractions[j],
+                response_s: reports[j].mean_response_s,
+                active_vms: reports[j].active_vms,
+                proactive: reports[j].proactive_rejuvenations,
+                reactive: reports[j].reactive_failures,
+                completed: reports[j].completed,
+            })
+            .collect();
+        self.telemetry.record_era(
+            t_end,
+            &records,
+            global_response,
+            lambda_total,
+            churn,
+            remote,
+        );
+
+        self.plan = Some(plan);
+        self.now = t_end;
+        self.era_index += 1;
+    }
+
+    /// Runs `eras` control eras.
+    pub fn run(&mut self, eras: usize) {
+        for _ in 0..eras {
+            self.step_era();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use acm_pcam::RttfSource;
+
+    /// Builds a loop with oracle predictors (fast: no training phase).
+    fn oracle_loop(cfg: &ExperimentConfig) -> ControlLoop {
+        let mut rng = SimRng::new(cfg.seed);
+        let vmcs: Vec<Vmc> = cfg
+            .regions
+            .iter()
+            .map(|spec| Vmc::new(spec.region.clone(), RttfSource::Oracle, rng.split()))
+            .collect();
+        ControlLoop::new(cfg, vmcs, rng)
+    }
+
+    fn fig3_cfg(policy: PolicyKind) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::two_region_fig3(policy, 42);
+        cfg.predictor = crate::config::PredictorChoice::Oracle;
+        cfg
+    }
+
+    #[test]
+    fn runs_the_requested_number_of_eras() {
+        let cfg = fig3_cfg(PolicyKind::AvailableResources);
+        let mut cl = oracle_loop(&cfg);
+        cl.run(10);
+        assert_eq!(cl.telemetry().eras(), 10);
+        assert_eq!(cl.now(), SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn fractions_stay_a_probability_vector() {
+        let cfg = fig3_cfg(PolicyKind::Exploration);
+        let mut cl = oracle_loop(&cfg);
+        for _ in 0..30 {
+            cl.step_era();
+            let s: f64 = cl.fractions().iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "sum {s}");
+            assert!(cl.fractions().iter().all(|f| *f > 0.0));
+        }
+    }
+
+    #[test]
+    fn leader_is_region_zero_when_healthy() {
+        let cfg = fig3_cfg(PolicyKind::SensibleRouting);
+        let cl = oracle_loop(&cfg);
+        assert_eq!(cl.election().leader(NodeId(0)), Some(NodeId(0)));
+        assert_eq!(cl.election().leader(NodeId(1)), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn policy2_converges_rmttf_on_fig3_deployment() {
+        let cfg = fig3_cfg(PolicyKind::AvailableResources);
+        let mut cl = oracle_loop(&cfg);
+        cl.run(80);
+        let tel = cl.into_telemetry();
+        let spread = tel.rmttf_spread(20);
+        assert!(spread < 1.35, "policy 2 should converge, spread {spread}");
+    }
+
+    #[test]
+    fn policy1_leaves_rmttf_unequal_on_fig3_deployment() {
+        let cfg = fig3_cfg(PolicyKind::SensibleRouting);
+        let mut cl = oracle_loop(&cfg);
+        cl.run(80);
+        let tel = cl.into_telemetry();
+        let spread = tel.rmttf_spread(20);
+        assert!(
+            spread > 1.4,
+            "policy 1 must not equalise heterogeneous regions, spread {spread}"
+        );
+    }
+
+    #[test]
+    fn response_time_stays_under_the_sla() {
+        for policy in PolicyKind::ALL {
+            let cfg = fig3_cfg(policy);
+            let mut cl = oracle_loop(&cfg);
+            cl.run(60);
+            let tel = cl.into_telemetry();
+            let resp = tel.tail_response(30);
+            assert!(resp < 1.0, "{policy}: tail response {resp}");
+        }
+    }
+
+    #[test]
+    fn link_fault_suspends_plan_updates_for_the_cut_region() {
+        let mut cfg = fig3_cfg(PolicyKind::AvailableResources);
+        cfg.link_faults = vec![LinkFault {
+            a: 0,
+            b: 1,
+            fail_at: SimTime::from_secs(300),
+            recover_at: SimTime::from_secs(600),
+        }];
+        let mut cl = oracle_loop(&cfg);
+        cl.run(40);
+        // The run must survive the partition and keep serving.
+        let tel = cl.telemetry();
+        assert_eq!(tel.eras(), 40);
+        assert!(tel.total_completed() > 0);
+        // During the partition the leader's view of region 1 froze; after
+        // recovery reports flow again and fractions keep summing to 1.
+        let s: f64 = cl.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = fig3_cfg(PolicyKind::Exploration);
+        let mut a = oracle_loop(&cfg);
+        let mut b = oracle_loop(&cfg);
+        a.run(20);
+        b.run(20);
+        assert_eq!(a.telemetry().to_csv(), b.telemetry().to_csv());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = fig3_cfg(PolicyKind::Exploration);
+        let mut a = oracle_loop(&cfg);
+        cfg.seed = 43;
+        let mut b = oracle_loop(&cfg);
+        a.run(20);
+        b.run(20);
+        assert_ne!(a.telemetry().to_csv(), b.telemetry().to_csv());
+    }
+
+    #[test]
+    fn runtime_policy_switch_rescues_policy1() {
+        // Start with the non-converging sensible routing, switch to the
+        // resource estimator mid-run: the RMTTFs must then equalise.
+        let cfg = fig3_cfg(PolicyKind::SensibleRouting);
+        let mut cl = oracle_loop(&cfg);
+        cl.run(50);
+        let spread_before = {
+            let t = cl.telemetry();
+            t.rmttf_spread(15)
+        };
+        assert!(spread_before > 1.4, "P1 should be diverged: {spread_before}");
+        cl.set_policy(PolicyKind::AvailableResources);
+        cl.run(50);
+        let spread_after = cl.telemetry().rmttf_spread(15);
+        assert!(
+            spread_after < 1.2,
+            "switching to P2 should converge the system: {spread_after}"
+        );
+    }
+
+    #[test]
+    fn workload_is_actually_served() {
+        let cfg = fig3_cfg(PolicyKind::AvailableResources);
+        let mut cl = oracle_loop(&cfg);
+        cl.run(20);
+        let tel = cl.telemetry();
+        // ~87 req/s for 600 s ≈ 50k requests.
+        assert!(
+            tel.total_completed() > 30_000,
+            "completed {}",
+            tel.total_completed()
+        );
+        // Proactive maintenance happened.
+        assert!(tel.total_proactive() > 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Feature database.
+//!
+//! The F2PM feature-monitor agent "builds a database of system features, for
+//! later usage by the ML algorithms" (paper Sec. III). [`Dataset`] is that
+//! database: a feature matrix, an RTTF target vector, and the feature names
+//! (so Lasso selection can be reported by name).
+
+use acm_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised regression dataset: rows of features with an RTTF target.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature names.
+    pub fn new<I, S>(feature_names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Dataset {
+            feature_names: feature_names.into_iter().map(Into::into).collect(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Appends one labelled observation. Panics on width mismatch or
+    /// non-finite values — a corrupt training row would silently poison
+    /// every downstream model.
+    pub fn push(&mut self, features: Vec<f64>, target: f64) {
+        assert_eq!(
+            features.len(),
+            self.feature_names.len(),
+            "feature width mismatch"
+        );
+        assert!(
+            features.iter().all(|v| v.is_finite()) && target.is_finite(),
+            "non-finite observation"
+        );
+        self.x.push(features);
+        self.y.push(target);
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the dataset holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features.
+    pub fn width(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Feature rows.
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// One feature row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.x[i]
+    }
+
+    /// Target of row `i`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// Mean of the target vector (0 when empty).
+    pub fn target_mean(&self) -> f64 {
+        if self.y.is_empty() {
+            0.0
+        } else {
+            self.y.iter().sum::<f64>() / self.y.len() as f64
+        }
+    }
+
+    /// Returns a dataset containing only the rows at `indices` (cloned).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Projects the dataset onto the feature columns at `keep` (in order).
+    pub fn project(&self, keep: &[usize]) -> Dataset {
+        for &j in keep {
+            assert!(j < self.width(), "feature index {j} out of range");
+        }
+        Dataset {
+            feature_names: keep.iter().map(|&j| self.feature_names[j].clone()).collect(),
+            x: self
+                .x
+                .iter()
+                .map(|row| keep.iter().map(|&j| row[j]).collect())
+                .collect(),
+            y: self.y.clone(),
+        }
+    }
+
+    /// Deterministic shuffled split into `(train, test)` with the given
+    /// train fraction.
+    pub fn split(&self, train_frac: f64, rng: &mut SimRng) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&train_frac), "bad train fraction");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let cut = (self.len() as f64 * train_frac).round() as usize;
+        (self.subset(&idx[..cut]), self.subset(&idx[cut..]))
+    }
+
+    /// Deterministic k-fold partition: returns `k` (train, validation)
+    /// pairs covering every row exactly once as validation.
+    pub fn k_folds(&self, k: usize, rng: &mut SimRng) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "need at least two folds");
+        assert!(self.len() >= k, "fewer rows than folds");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let val: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k == f)
+                .map(|(_, &v)| v)
+                .collect();
+            let train: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % k != f)
+                .map(|(_, &v)| v)
+                .collect();
+            folds.push((self.subset(&train), self.subset(&val)));
+        }
+        folds
+    }
+
+    /// Merges another dataset with identical feature names into this one.
+    pub fn extend(&mut self, other: &Dataset) {
+        assert_eq!(
+            self.feature_names, other.feature_names,
+            "incompatible feature spaces"
+        );
+        self.x.extend(other.x.iter().cloned());
+        self.y.extend_from_slice(&other.y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(["a", "b"]);
+        for i in 0..10 {
+            ds.push(vec![i as f64, 2.0 * i as f64], 10.0 * i as f64);
+        }
+        ds
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let ds = toy();
+        assert_eq!(ds.len(), 10);
+        assert_eq!(ds.width(), 2);
+        assert_eq!(ds.row(3), &[3.0, 6.0]);
+        assert_eq!(ds.target(3), 30.0);
+        assert_eq!(ds.feature_names(), &["a".to_string(), "b".to_string()]);
+        assert!((ds.target_mean() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_wrong_width_panics() {
+        let mut ds = Dataset::new(["a", "b"]);
+        ds.push(vec![1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn push_nan_panics() {
+        let mut ds = Dataset::new(["a"]);
+        ds.push(vec![f64::NAN], 0.0);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let ds = toy();
+        let sub = ds.subset(&[0, 5, 9]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.target(1), 50.0);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let ds = toy();
+        let p = ds.project(&[1]);
+        assert_eq!(p.width(), 1);
+        assert_eq!(p.feature_names(), &["b".to_string()]);
+        assert_eq!(p.row(4), &[8.0]);
+        assert_eq!(p.targets(), ds.targets());
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let ds = toy();
+        let mut rng = SimRng::new(1);
+        let (train, test) = ds.split(0.7, &mut rng);
+        assert_eq!(train.len(), 7);
+        assert_eq!(test.len(), 3);
+        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expect: Vec<f64> = ds.targets().to_vec();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = toy();
+        let (a, _) = ds.split(0.5, &mut SimRng::new(9));
+        let (b, _) = ds.split(0.5, &mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_folds_cover_all_rows_once() {
+        let ds = toy();
+        let mut rng = SimRng::new(2);
+        let folds = ds.k_folds(5, &mut rng);
+        assert_eq!(folds.len(), 5);
+        let mut val_targets: Vec<f64> = folds
+            .iter()
+            .flat_map(|(_, v)| v.targets().to_vec())
+            .collect();
+        val_targets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expect = ds.targets().to_vec();
+        expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(val_targets, expect);
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = toy();
+        let b = toy();
+        a.extend(&b);
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn extend_incompatible_panics() {
+        let mut a = toy();
+        let b = Dataset::new(["x", "y"]);
+        a.extend(&b);
+    }
+}

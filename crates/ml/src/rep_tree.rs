@@ -1,0 +1,512 @@
+//! REP-Tree: a variance-reduction regression tree with reduced-error
+//! pruning — the model the paper selected for MTTF prediction ("Based on
+//! our previous results in \[26\], we selected REP Tree", Sec. VI-A).
+//!
+//! Growing: greedy binary splits minimising the sum of squared errors, with
+//! depth / support limits. Pruning: the classic *reduced-error* scheme —
+//! hold out a fraction of the training data, then collapse any internal
+//! node whose subtree does not beat its own leaf-mean on the holdout.
+
+use crate::dataset::Dataset;
+use acm_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Growth and pruning hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepTreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node needs to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum samples each child of a split must retain.
+    pub min_samples_leaf: usize,
+    /// Fraction of the training data held out for reduced-error pruning
+    /// (0 disables pruning).
+    pub prune_fraction: f64,
+}
+
+impl Default for RepTreeConfig {
+    fn default() -> Self {
+        RepTreeConfig {
+            max_depth: 14,
+            min_samples_split: 8,
+            min_samples_leaf: 4,
+            prune_fraction: 0.25,
+        }
+    }
+}
+
+/// Arena node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Mean of the training targets that reached this node (the value
+        /// the node would predict if collapsed).
+        mean: f64,
+        /// SSE reduction this split achieved on the grow set (drives
+        /// [`RepTree::feature_importance`]).
+        gain: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained REP-Tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepTree {
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl RepTree {
+    /// Fits a tree. `rng` draws the grow/prune split, so training is
+    /// deterministic per seed.
+    pub fn fit(ds: &Dataset, cfg: &RepTreeConfig, rng: &mut SimRng) -> Self {
+        assert!(!ds.is_empty(), "cannot fit on empty dataset");
+        assert!(
+            (0.0..1.0).contains(&cfg.prune_fraction),
+            "prune fraction must be in [0,1)"
+        );
+        let (grow, prune) = if cfg.prune_fraction > 0.0 && ds.len() >= 8 {
+            let (g, p) = ds.split(1.0 - cfg.prune_fraction, rng);
+            if g.is_empty() {
+                (ds.clone(), Dataset::new(ds.feature_names().to_vec()))
+            } else {
+                (g, p)
+            }
+        } else {
+            (ds.clone(), Dataset::new(ds.feature_names().to_vec()))
+        };
+
+        let mut builder = Builder {
+            nodes: Vec::new(),
+            cfg,
+            ds: &grow,
+        };
+        let indices: Vec<usize> = (0..grow.len()).collect();
+        let root = builder.build(&indices, 0);
+        let mut tree = RepTree {
+            nodes: builder.nodes,
+            root,
+        };
+        if !prune.is_empty() {
+            tree.reduced_error_prune(&prune);
+        }
+        tree
+    }
+
+    /// Predicts one row.
+    pub fn predict_one(&self, x: &[f64]) -> f64 {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.count_leaves(self.root)
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        self.node_depth(self.root)
+    }
+
+    /// Per-feature importance: the total SSE reduction attributed to splits
+    /// on each feature (post-pruning), normalised to sum to 1 when any
+    /// split survives. `width` is the feature-vector width.
+    pub fn feature_importance(&self, width: usize) -> Vec<f64> {
+        let mut imp = vec![0.0; width];
+        self.accumulate_importance(self.root, &mut imp);
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    fn accumulate_importance(&self, idx: usize, imp: &mut [f64]) {
+        if let Node::Split { feature, gain, left, right, .. } = &self.nodes[idx] {
+            if *feature < imp.len() {
+                imp[*feature] += gain.max(0.0);
+            }
+            self.accumulate_importance(*left, imp);
+            self.accumulate_importance(*right, imp);
+        }
+    }
+
+    fn count_leaves(&self, idx: usize) -> usize {
+        match &self.nodes[idx] {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => {
+                self.count_leaves(*left) + self.count_leaves(*right)
+            }
+        }
+    }
+
+    fn node_depth(&self, idx: usize) -> usize {
+        match &self.nodes[idx] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.node_depth(*left).max(self.node_depth(*right))
+            }
+        }
+    }
+
+    /// Reduced-error pruning against a holdout set: bottom-up, replace any
+    /// split whose collapsed-leaf squared error on the holdout is no worse
+    /// than its subtree's.
+    fn reduced_error_prune(&mut self, holdout: &Dataset) {
+        let indices: Vec<usize> = (0..holdout.len()).collect();
+        self.prune_node(self.root, &indices, holdout);
+    }
+
+    /// Returns the subtree's squared error on `indices` after pruning it.
+    fn prune_node(&mut self, idx: usize, indices: &[usize], holdout: &Dataset) -> f64 {
+        let (feature, threshold, mean, left, right) = match &self.nodes[idx] {
+            Node::Leaf { value } => {
+                let v = *value;
+                return indices
+                    .iter()
+                    .map(|&i| {
+                        let d = holdout.target(i) - v;
+                        d * d
+                    })
+                    .sum();
+            }
+            Node::Split {
+                feature,
+                threshold,
+                mean,
+                left,
+                right,
+                ..
+            } => (*feature, *threshold, *mean, *left, *right),
+        };
+
+        let (li, ri): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| holdout.row(i)[feature] <= threshold);
+        let subtree_err =
+            self.prune_node(left, &li, holdout) + self.prune_node(right, &ri, holdout);
+        let leaf_err: f64 = indices
+            .iter()
+            .map(|&i| {
+                let d = holdout.target(i) - mean;
+                d * d
+            })
+            .sum();
+        // Collapse when the leaf is at least as good on held-out data. Nodes
+        // that see no holdout rows keep their structure (no evidence).
+        if !indices.is_empty() && leaf_err <= subtree_err {
+            self.nodes[idx] = Node::Leaf { value: mean };
+            leaf_err
+        } else {
+            subtree_err
+        }
+    }
+}
+
+impl crate::model::Regressor for RepTree {
+    fn predict_one(&self, x: &[f64]) -> f64 {
+        RepTree::predict_one(self, x)
+    }
+    fn name(&self) -> &'static str {
+        "rep-tree"
+    }
+}
+
+struct Builder<'a> {
+    nodes: Vec<Node>,
+    cfg: &'a RepTreeConfig,
+    ds: &'a Dataset,
+}
+
+impl Builder<'_> {
+    fn build(&mut self, indices: &[usize], depth: usize) -> usize {
+        let mean = self.mean(indices);
+        if depth >= self.cfg.max_depth
+            || indices.len() < self.cfg.min_samples_split
+            || self.is_pure(indices)
+        {
+            return self.push(Node::Leaf { value: mean });
+        }
+        match self.best_split(indices) {
+            None => self.push(Node::Leaf { value: mean }),
+            Some((feature, threshold, gain)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| self.ds.row(i)[feature] <= threshold);
+                debug_assert!(
+                    li.len() >= self.cfg.min_samples_leaf && ri.len() >= self.cfg.min_samples_leaf
+                );
+                let left = self.build(&li, depth + 1);
+                let right = self.build(&ri, depth + 1);
+                self.push(Node::Split {
+                    feature,
+                    threshold,
+                    mean,
+                    gain,
+                    left,
+                    right,
+                })
+            }
+        }
+    }
+
+    fn push(&mut self, node: Node) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    fn mean(&self, indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        indices.iter().map(|&i| self.ds.target(i)).sum::<f64>() / indices.len() as f64
+    }
+
+    fn is_pure(&self, indices: &[usize]) -> bool {
+        let first = self.ds.target(indices[0]);
+        indices.iter().all(|&i| (self.ds.target(i) - first).abs() < 1e-12)
+    }
+
+    /// Best `(feature, threshold, sse_reduction)`, scanning sorted values
+    /// with prefix sums. Returns `None` when no admissible split reduces the
+    /// error.
+    fn best_split(&self, indices: &[usize]) -> Option<(usize, f64, f64)> {
+        let n = indices.len() as f64;
+        let total_sum: f64 = indices.iter().map(|&i| self.ds.target(i)).sum();
+        let total_sq: f64 = indices
+            .iter()
+            .map(|&i| {
+                let y = self.ds.target(i);
+                y * y
+            })
+            .sum();
+        let parent_sse = total_sq - total_sum * total_sum / n;
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+        let mut order: Vec<usize> = Vec::with_capacity(indices.len());
+        for feature in 0..self.ds.width() {
+            order.clear();
+            order.extend_from_slice(indices);
+            order.sort_by(|&a, &b| {
+                self.ds.row(a)[feature]
+                    .partial_cmp(&self.ds.row(b)[feature])
+                    .unwrap()
+            });
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+                let y = self.ds.target(i);
+                left_sum += y;
+                left_sq += y * y;
+                let nl = (k + 1) as f64;
+                let nr = n - nl;
+                if (k + 1) < self.cfg.min_samples_leaf
+                    || (order.len() - k - 1) < self.cfg.min_samples_leaf
+                {
+                    continue;
+                }
+                let x_here = self.ds.row(i)[feature];
+                let x_next = self.ds.row(order[k + 1])[feature];
+                if x_here == x_next {
+                    continue; // cannot split between equal values
+                }
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / nl)
+                    + (right_sq - right_sum * right_sum / nr);
+                if best.as_ref().is_none_or(|(_, _, b)| sse < *b) {
+                    best = Some((feature, 0.5 * (x_here + x_next), sse));
+                }
+            }
+        }
+        match best {
+            Some((f, t, sse)) if sse < parent_sse - 1e-12 => Some((f, t, parent_sse - sse)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A step function: y = 10 for x < 0.5, y = 20 otherwise.
+    fn step_ds(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        let mut ds = Dataset::new(["x"]);
+        for _ in 0..n {
+            let x = rng.uniform(0.0, 1.0);
+            let y = if x < 0.5 { 10.0 } else { 20.0 };
+            ds.push(vec![x], y + rng.normal(0.0, 0.1));
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let ds = step_ds(500, 1);
+        let mut rng = SimRng::new(2);
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut rng);
+        assert!((tree.predict_one(&[0.2]) - 10.0).abs() < 0.5);
+        assert!((tree.predict_one(&[0.8]) - 20.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // Pure-noise target: the pruned tree should be (nearly) a stump.
+        let mut rng = SimRng::new(3);
+        let mut ds = Dataset::new(["x1", "x2"]);
+        for _ in 0..400 {
+            ds.push(
+                vec![rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)],
+                rng.normal(0.0, 1.0),
+            );
+        }
+        let unpruned = RepTree::fit(
+            &ds,
+            &RepTreeConfig { prune_fraction: 0.0, ..Default::default() },
+            &mut SimRng::new(4),
+        );
+        let pruned = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(4));
+        assert!(
+            pruned.leaf_count() * 4 < unpruned.leaf_count(),
+            "pruned {} vs unpruned {}",
+            pruned.leaf_count(),
+            unpruned.leaf_count()
+        );
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let ds = step_ds(500, 5);
+        let cfg = RepTreeConfig { max_depth: 2, prune_fraction: 0.0, ..Default::default() };
+        let tree = RepTree::fit(&ds, &cfg, &mut SimRng::new(6));
+        assert!(tree.depth() <= 2);
+        assert!(tree.leaf_count() <= 4);
+    }
+
+    #[test]
+    fn constant_target_is_a_single_leaf() {
+        let mut ds = Dataset::new(["x"]);
+        for i in 0..100 {
+            ds.push(vec![i as f64], 7.0);
+        }
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(7));
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.predict_one(&[55.0]), 7.0);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let ds = step_ds(40, 8);
+        let cfg = RepTreeConfig {
+            min_samples_leaf: 15,
+            min_samples_split: 30,
+            prune_fraction: 0.0,
+            ..Default::default()
+        };
+        let tree = RepTree::fit(&ds, &cfg, &mut SimRng::new(9));
+        // With 40 rows and 15-per-leaf, at most 2 leaves are possible.
+        assert!(tree.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn piecewise_linear_target_approximated() {
+        // y = |x|: a tree needs several splits to approximate the vee.
+        let mut ds = Dataset::new(["x"]);
+        let mut rng = SimRng::new(10);
+        for _ in 0..1000 {
+            let x = rng.uniform(-2.0, 2.0);
+            ds.push(vec![x], x.abs());
+        }
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(11));
+        for x in [-1.5, -0.5, 0.5, 1.5] {
+            let p = tree.predict_one(&[x]);
+            assert!((p - x.abs()).abs() < 0.25, "pred at {x} was {p}");
+        }
+    }
+
+    #[test]
+    fn irrelevant_feature_not_split_on() {
+        // Feature 1 is pure noise, feature 0 carries the signal.
+        let mut ds = Dataset::new(["signal", "noise"]);
+        let mut rng = SimRng::new(12);
+        for _ in 0..600 {
+            let s = rng.uniform(0.0, 1.0);
+            let n = rng.uniform(0.0, 1.0);
+            ds.push(vec![s, n], if s < 0.3 { 1.0 } else { 5.0 });
+        }
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(13));
+        // Prediction must be driven by feature 0 regardless of feature 1.
+        for noise in [0.1, 0.9] {
+            assert!((tree.predict_one(&[0.1, noise]) - 1.0).abs() < 0.3);
+            assert!((tree.predict_one(&[0.9, noise]) - 5.0).abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn feature_importance_identifies_the_signal() {
+        let mut ds = Dataset::new(["signal", "noise"]);
+        let mut rng = SimRng::new(21);
+        for _ in 0..600 {
+            let s = rng.uniform(0.0, 1.0);
+            let n = rng.uniform(0.0, 1.0);
+            ds.push(vec![s, n], if s < 0.4 { 2.0 } else { 9.0 });
+        }
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(22));
+        let imp = tree.feature_importance(2);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.9, "signal importance {imp:?}");
+    }
+
+    #[test]
+    fn stump_has_zero_importance() {
+        let mut ds = Dataset::new(["x"]);
+        for i in 0..50 {
+            ds.push(vec![i as f64], 1.0);
+        }
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(23));
+        assert_eq!(tree.feature_importance(1), vec![0.0]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = step_ds(300, 14);
+        let t1 = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(15));
+        let t2 = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(15));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn tiny_dataset_becomes_leaf() {
+        let mut ds = Dataset::new(["x"]);
+        ds.push(vec![1.0], 2.0);
+        ds.push(vec![2.0], 4.0);
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(16));
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.predict_one(&[1.5]) - 3.0).abs() < 1e-12);
+    }
+}

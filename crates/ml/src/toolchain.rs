@@ -1,0 +1,311 @@
+//! The end-to-end F2PM pipeline.
+//!
+//! "All measurements are fed into an automatic ML toolchain. The goal of
+//! this toolchain is to generate and validate alternative ML models for
+//! predicting the Remaining Time To Failure, as well as to select (via
+//! Lasso regularization) what are the most relevant system features"
+//! (paper Sec. III). [`F2pmToolchain::run`] does exactly that:
+//!
+//! 1. fit a Lasso on the full feature set and keep the features whose
+//!    standardised weight passes a threshold,
+//! 2. train every family in the menu on the projected training split
+//!    (in parallel via rayon — the families are independent),
+//! 3. score each on the holdout and rank by RMSE,
+//! 4. return the winner wrapped as an [`RttfPredictor`] that accepts the
+//!    *full* feature vector at runtime and projects internally.
+
+use crate::dataset::Dataset;
+use crate::lasso::LassoRegression;
+use crate::metrics::RegressionMetrics;
+use crate::model::{AnyModel, ModelKind, Regressor};
+use crate::validate::evaluate;
+use acm_sim::rng::SimRng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Toolchain configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct F2pmToolchain {
+    /// Fraction of the database used for training (rest is holdout).
+    pub train_frac: f64,
+    /// Lasso strength for feature selection; `None` = data-driven default.
+    pub lasso_alpha: Option<f64>,
+    /// Keep features whose standardised |weight| exceeds this *fraction of
+    /// the largest* standardised weight (scale-invariant).
+    pub selection_threshold: f64,
+    /// Which families to train.
+    pub models: Vec<ModelKind>,
+}
+
+impl Default for F2pmToolchain {
+    fn default() -> Self {
+        F2pmToolchain {
+            train_frac: 0.75,
+            lasso_alpha: None,
+            selection_threshold: 0.02,
+            models: ModelKind::ALL.to_vec(),
+        }
+    }
+}
+
+/// Outcome of one model family in the toolchain run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelOutcome {
+    /// Family.
+    pub kind: ModelKind,
+    /// Holdout metrics.
+    pub metrics: RegressionMetrics,
+}
+
+/// Report of a toolchain run: the Lasso selection plus the ranked menu.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct F2pmReport {
+    /// Indices (into the full feature vector) of the selected features.
+    pub selected_features: Vec<usize>,
+    /// Names of the selected features.
+    pub selected_names: Vec<String>,
+    /// Per-family holdout outcomes, best (lowest RMSE) first.
+    pub outcomes: Vec<ModelOutcome>,
+    /// Rows used for training / holdout.
+    pub train_rows: usize,
+    /// Rows in the holdout set.
+    pub holdout_rows: usize,
+}
+
+impl F2pmReport {
+    /// The winning family.
+    pub fn best_kind(&self) -> ModelKind {
+        self.outcomes[0].kind
+    }
+
+    /// Outcome of a specific family, if it was trained.
+    pub fn outcome_of(&self, kind: ModelKind) -> Option<&ModelOutcome> {
+        self.outcomes.iter().find(|o| o.kind == kind)
+    }
+
+    /// Renders the ranking as an aligned text table (model-selection bench).
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>10} {:>10} {:>8} {:>8}",
+            "model", "MAE", "RMSE", "R2", "MAPE%"
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10.3} {:>10.3} {:>8.4} {:>8.1}",
+                o.kind.name(),
+                o.metrics.mae,
+                o.metrics.rmse,
+                o.metrics.r2,
+                o.metrics.mape * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// A deployable RTTF predictor: the winning model plus the feature
+/// projection chosen by Lasso. Predictions are clamped to be non-negative —
+/// a remaining time to failure below zero is meaningless to the controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RttfPredictor {
+    model: AnyModel,
+    selected: Vec<usize>,
+}
+
+impl RttfPredictor {
+    /// Wraps an already-trained model with its feature projection.
+    pub fn new(model: AnyModel, selected: Vec<usize>) -> Self {
+        RttfPredictor { model, selected }
+    }
+
+    /// Predicts RTTF (seconds, ≥ 0) from the full runtime feature vector.
+    pub fn predict(&self, full_features: &[f64]) -> f64 {
+        let projected: Vec<f64> = self.selected.iter().map(|&j| full_features[j]).collect();
+        self.model.predict_one(&projected).max(0.0)
+    }
+
+    /// Which family the deployed model belongs to.
+    pub fn kind(&self) -> ModelKind {
+        self.model.kind()
+    }
+
+    /// The feature indices the predictor consumes.
+    pub fn selected_features(&self) -> &[usize] {
+        &self.selected
+    }
+}
+
+impl F2pmToolchain {
+    /// Runs the pipeline on a feature database. Returns the deployable
+    /// predictor (best family) and the full report.
+    pub fn run(&self, db: &Dataset, rng: &mut SimRng) -> (RttfPredictor, F2pmReport) {
+        assert!(db.len() >= 20, "feature database too small ({} rows)", db.len());
+        assert!(!self.models.is_empty(), "no model families configured");
+
+        // 1. Lasso feature selection on the full database.
+        let alpha = self
+            .lasso_alpha
+            .unwrap_or_else(|| LassoRegression::default_alpha(db));
+        let lasso = LassoRegression::fit(db, alpha);
+        let max_w = lasso
+            .std_weights()
+            .iter()
+            .fold(0.0_f64, |m, w| m.max(w.abs()));
+        let mut selected = lasso.selected_features(self.selection_threshold * max_w);
+        if selected.is_empty() {
+            // Degenerate target: fall back to all features so the menu can
+            // still train (they will all predict ~the mean).
+            selected = (0..db.width()).collect();
+        }
+        let projected = db.project(&selected);
+
+        // 2. Split once; every family sees the same split.
+        let (train, holdout) = projected.split(self.train_frac, rng);
+
+        // 3. Train the menu in parallel, each family with its own
+        //    deterministic RNG stream.
+        let jobs: Vec<(ModelKind, SimRng)> = self
+            .models
+            .iter()
+            .map(|&kind| (kind, rng.split()))
+            .collect();
+        let mut results: Vec<(AnyModel, ModelOutcome)> = jobs
+            .into_par_iter()
+            .map(|(kind, mut model_rng)| {
+                let model = kind.fit(&train, &mut model_rng);
+                let metrics = evaluate(&model, &holdout);
+                (model, ModelOutcome { kind, metrics })
+            })
+            .collect();
+
+        // 4. Rank by holdout RMSE.
+        results.sort_by(|a, b| {
+            a.1.metrics
+                .rmse
+                .partial_cmp(&b.1.metrics.rmse)
+                .expect("finite RMSE")
+        });
+
+        let report = F2pmReport {
+            selected_names: selected
+                .iter()
+                .map(|&j| db.feature_names()[j].clone())
+                .collect(),
+            selected_features: selected.clone(),
+            outcomes: results.iter().map(|(_, o)| o.clone()).collect(),
+            train_rows: train.len(),
+            holdout_rows: holdout.len(),
+        };
+        let best_model = results.swap_remove(0).0;
+        (RttfPredictor::new(best_model, selected), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RTTF-like synthetic database: target driven by two of five features.
+    fn rttf_db(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        let mut db = Dataset::new(["resident", "swap", "threads", "noise1", "noise2"]);
+        for _ in 0..n {
+            let resident = rng.uniform(500.0, 4000.0);
+            let swap = rng.uniform(0.0, 500.0);
+            let threads = rng.uniform(90.0, 900.0);
+            let n1 = rng.uniform(0.0, 1.0);
+            let n2 = rng.uniform(0.0, 1.0);
+            // RTTF shrinks as resident/threads grow.
+            let rttf = (5000.0 - resident - 2.0 * threads - 3.0 * swap).max(0.0)
+                + rng.normal(0.0, 20.0);
+            db.push(vec![resident, swap, threads, n1, n2], rttf);
+        }
+        db
+    }
+
+    #[test]
+    fn pipeline_selects_informative_features_and_a_good_model() {
+        let db = rttf_db(600, 1);
+        let tc = F2pmToolchain::default();
+        let mut rng = SimRng::new(2);
+        let (predictor, report) = tc.run(&db, &mut rng);
+        // Noise features must be dropped.
+        assert!(report.selected_names.contains(&"resident".to_string()));
+        assert!(report.selected_names.contains(&"threads".to_string()));
+        assert!(!report.selected_names.contains(&"noise1".to_string()));
+        // The winner must explain the target well.
+        assert!(report.outcomes[0].metrics.r2 > 0.9, "{}", report.to_table());
+        // The deployed predictor consumes the FULL feature vector.
+        let p = predictor.predict(&[1000.0, 0.0, 200.0, 0.5, 0.5]);
+        assert!((p - 3600.0).abs() < 300.0, "prediction {p}");
+    }
+
+    #[test]
+    fn predictions_are_clamped_non_negative() {
+        let db = rttf_db(300, 3);
+        let tc = F2pmToolchain::default();
+        let mut rng = SimRng::new(4);
+        let (predictor, _) = tc.run(&db, &mut rng);
+        // Far beyond exhaustion: raw model would go negative.
+        let p = predictor.predict(&[10_000.0, 500.0, 2000.0, 0.0, 0.0]);
+        assert!(p >= 0.0);
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_rmse() {
+        let db = rttf_db(300, 5);
+        let tc = F2pmToolchain::default();
+        let mut rng = SimRng::new(6);
+        let (_, report) = tc.run(&db, &mut rng);
+        let rmses: Vec<f64> = report.outcomes.iter().map(|o| o.metrics.rmse).collect();
+        assert!(rmses.windows(2).all(|w| w[0] <= w[1]), "{rmses:?}");
+        assert_eq!(report.outcomes.len(), ModelKind::ALL.len());
+        assert_eq!(report.best_kind(), report.outcomes[0].kind);
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let db = rttf_db(300, 7);
+        let tc = F2pmToolchain::default();
+        let (_, r1) = tc.run(&db, &mut SimRng::new(8));
+        let (_, r2) = tc.run(&db, &mut SimRng::new(8));
+        assert_eq!(r1.selected_features, r2.selected_features);
+        let k1: Vec<ModelKind> = r1.outcomes.iter().map(|o| o.kind).collect();
+        let k2: Vec<ModelKind> = r2.outcomes.iter().map(|o| o.kind).collect();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn restricted_menu_trains_only_requested_families() {
+        let db = rttf_db(200, 9);
+        let tc = F2pmToolchain {
+            models: vec![ModelKind::RepTree, ModelKind::Linear],
+            ..Default::default()
+        };
+        let (_, report) = tc.run(&db, &mut SimRng::new(10));
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(report.outcome_of(ModelKind::Svr).is_none());
+        assert!(report.outcome_of(ModelKind::RepTree).is_some());
+    }
+
+    #[test]
+    fn table_render_contains_all_rows() {
+        let db = rttf_db(200, 11);
+        let (_, report) = F2pmToolchain::default().run(&db, &mut SimRng::new(12));
+        let table = report.to_table();
+        for kind in ModelKind::ALL {
+            assert!(table.contains(kind.name()), "missing {kind} in\n{table}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_database_panics() {
+        let db = rttf_db(10, 13);
+        let _ = F2pmToolchain::default().run(&db, &mut SimRng::new(14));
+    }
+}

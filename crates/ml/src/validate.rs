@@ -1,0 +1,176 @@
+//! Model validation: holdout and k-fold evaluation.
+
+use crate::dataset::Dataset;
+use crate::metrics::RegressionMetrics;
+use crate::model::{AnyModel, ModelKind, Regressor};
+use acm_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Scores a trained model on an evaluation dataset.
+pub fn evaluate(model: &AnyModel, ds: &Dataset) -> RegressionMetrics {
+    let preds = model.predict(ds.rows());
+    RegressionMetrics::compute(ds.targets(), &preds)
+}
+
+/// Trains `kind` on a shuffled `train_frac` split and scores it on the rest.
+pub fn holdout_eval(
+    kind: ModelKind,
+    ds: &Dataset,
+    train_frac: f64,
+    rng: &mut SimRng,
+) -> (AnyModel, RegressionMetrics) {
+    let (train, test) = ds.split(train_frac, rng);
+    let model = kind.fit(&train, rng);
+    let metrics = evaluate(&model, &test);
+    (model, metrics)
+}
+
+/// Per-fold and aggregate results of a k-fold cross-validation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CvResult {
+    /// Model family evaluated.
+    pub kind: ModelKind,
+    /// Metrics on each validation fold.
+    pub folds: Vec<RegressionMetrics>,
+}
+
+impl CvResult {
+    /// Mean RMSE across folds.
+    pub fn mean_rmse(&self) -> f64 {
+        self.folds.iter().map(|m| m.rmse).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Mean MAE across folds.
+    pub fn mean_mae(&self) -> f64 {
+        self.folds.iter().map(|m| m.mae).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Mean R² across folds.
+    pub fn mean_r2(&self) -> f64 {
+        self.folds.iter().map(|m| m.r2).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Standard deviation of the per-fold RMSE (stability of the family).
+    pub fn rmse_std(&self) -> f64 {
+        let mean = self.mean_rmse();
+        let var = self
+            .folds
+            .iter()
+            .map(|m| (m.rmse - mean) * (m.rmse - mean))
+            .sum::<f64>()
+            / self.folds.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// One point of a learning curve.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LearningPoint {
+    /// Training rows used.
+    pub train_rows: usize,
+    /// Holdout metrics at that training size.
+    pub metrics: RegressionMetrics,
+}
+
+/// Learning curve: trains `kind` on growing prefixes of a shuffled training
+/// split and scores each on a fixed holdout — how much feature data the
+/// F2PM initial phase actually needs.
+pub fn learning_curve(
+    kind: ModelKind,
+    ds: &Dataset,
+    fractions: &[f64],
+    rng: &mut SimRng,
+) -> Vec<LearningPoint> {
+    assert!(!fractions.is_empty(), "need at least one training fraction");
+    let (train, test) = ds.split(0.75, rng);
+    fractions
+        .iter()
+        .map(|&frac| {
+            assert!((0.0..=1.0).contains(&frac), "fraction out of range");
+            let rows = ((train.len() as f64 * frac).round() as usize).max(2);
+            let subset: Vec<usize> = (0..rows.min(train.len())).collect();
+            let slice = train.subset(&subset);
+            let model = kind.fit(&slice, rng);
+            LearningPoint {
+                train_rows: slice.len(),
+                metrics: evaluate(&model, &test),
+            }
+        })
+        .collect()
+}
+
+/// k-fold cross-validation of one model family.
+pub fn cross_validate(kind: ModelKind, ds: &Dataset, k: usize, rng: &mut SimRng) -> CvResult {
+    let folds = ds.k_folds(k, rng);
+    let results = folds
+        .iter()
+        .map(|(train, val)| {
+            let model = kind.fit(train, rng);
+            evaluate(&model, val)
+        })
+        .collect();
+    CvResult { kind, folds: results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_ds(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        let mut ds = Dataset::new(["a", "b"]);
+        for _ in 0..n {
+            let a = rng.uniform(0.0, 1.0);
+            let b = rng.uniform(0.0, 1.0);
+            ds.push(vec![a, b], 2.0 * a + b + rng.normal(0.0, 0.05));
+        }
+        ds
+    }
+
+    #[test]
+    fn holdout_eval_scores_well_on_learnable_data() {
+        let ds = linear_ds(400, 1);
+        let mut rng = SimRng::new(2);
+        let (_, metrics) = holdout_eval(ModelKind::Linear, &ds, 0.75, &mut rng);
+        assert!(metrics.r2 > 0.98, "{metrics}");
+        assert_eq!(metrics.n, 100);
+    }
+
+    #[test]
+    fn cross_validation_covers_k_folds() {
+        let ds = linear_ds(200, 3);
+        let mut rng = SimRng::new(4);
+        let cv = cross_validate(ModelKind::Ridge, &ds, 5, &mut rng);
+        assert_eq!(cv.folds.len(), 5);
+        assert!(cv.mean_r2() > 0.95);
+        assert!(cv.mean_rmse() < 0.2);
+        assert!(cv.rmse_std() < cv.mean_rmse());
+        assert!(cv.mean_mae() <= cv.mean_rmse());
+    }
+
+    #[test]
+    fn learning_curve_improves_with_data() {
+        let ds = linear_ds(600, 7);
+        let mut rng = SimRng::new(8);
+        let curve = learning_curve(ModelKind::Linear, &ds, &[0.05, 0.3, 1.0], &mut rng);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].train_rows < curve[2].train_rows);
+        // More data never hurts a well-specified linear model (big margin
+        // to absorb noise).
+        assert!(
+            curve[2].metrics.rmse <= curve[0].metrics.rmse * 1.5,
+            "rmse {} -> {}",
+            curve[0].metrics.rmse,
+            curve[2].metrics.rmse
+        );
+    }
+
+    #[test]
+    fn evaluate_matches_direct_computation() {
+        let ds = linear_ds(100, 5);
+        let mut rng = SimRng::new(6);
+        let model = ModelKind::Linear.fit(&ds, &mut rng);
+        let m = evaluate(&model, &ds);
+        assert!(m.r2 > 0.99);
+    }
+}

@@ -1,0 +1,37 @@
+//! Overlay network between VM controllers.
+//!
+//! "The interconnection among the various controllers is actuated via an
+//! overlay network, which selects the path with the smallest latency among
+//! two given controllers, and is able to reroute connections in case of a
+//! network link failure. Among all the regions' VMCs, a leader VMC is
+//! automatically elected using \[a fault-tolerant algorithm\]" (paper
+//! Sec. III, citing Avresky & Natchev \[33\]).
+//!
+//! This crate provides exactly those three capabilities on top of the
+//! simulation kernel:
+//!
+//! * [`graph`] — the weighted controller topology,
+//! * [`routing`] — smallest-latency paths (Dijkstra) with failure-aware
+//!   rerouting,
+//! * [`election`] — leader election that tolerates multiple node and link
+//!   failures (per-partition minimum-id convergecast, re-run on any
+//!   membership change),
+//! * [`heartbeat`] — the eventually-perfect failure detector that tells the
+//!   election when to re-run,
+//! * [`transport`] — latency-faithful message delivery for the control
+//!   loop, scheduled on the discrete-event simulator.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod election;
+pub mod graph;
+pub mod heartbeat;
+pub mod routing;
+pub mod transport;
+
+pub use election::{ElectionOutcome, Elector};
+pub use graph::{LinkId, NodeId, OverlayGraph};
+pub use heartbeat::{FailureDetector, HeartbeatConfig};
+pub use routing::{Route, Router};
+pub use transport::Transport;

@@ -1,0 +1,186 @@
+//! Latency-faithful message delivery between controllers.
+//!
+//! [`Transport`] wraps the topology and the route cache, tracks
+//! sent/dropped counters, and schedules deliveries on the discrete-event
+//! simulator after the route latency. Messages to unreachable nodes are
+//! dropped (the control loop tolerates this: a slave whose report is lost
+//! simply keeps its previous plan for one era — the same behaviour a lost
+//! TCP connection would produce in the real deployment).
+
+use crate::graph::{NodeId, OverlayGraph};
+use crate::routing::Router;
+use acm_sim::sim::Simulator;
+use acm_sim::time::Duration;
+
+/// Message-passing facade over the overlay.
+#[derive(Debug, Clone, Default)]
+pub struct Transport {
+    graph: OverlayGraph,
+    router: Router,
+    sent: u64,
+    dropped: u64,
+}
+
+impl Transport {
+    /// Creates a transport over a topology.
+    pub fn new(graph: OverlayGraph) -> Self {
+        Transport {
+            graph,
+            router: Router::new(),
+            sent: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Read access to the topology.
+    pub fn graph(&self) -> &OverlayGraph {
+        &self.graph
+    }
+
+    /// Current smallest-latency delay between two controllers, or `None`
+    /// when unreachable.
+    pub fn latency(&mut self, from: NodeId, to: NodeId) -> Option<Duration> {
+        self.router.latency(&self.graph, from, to)
+    }
+
+    /// Fails a link and invalidates routes.
+    pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
+        self.graph.fail_link(a, b);
+        self.router.invalidate();
+    }
+
+    /// Recovers a link and invalidates routes.
+    pub fn recover_link(&mut self, a: NodeId, b: NodeId) {
+        self.graph.recover_link(a, b);
+        self.router.invalidate();
+    }
+
+    /// Fails a node and invalidates routes.
+    pub fn fail_node(&mut self, n: NodeId) {
+        self.graph.fail_node(n);
+        self.router.invalidate();
+    }
+
+    /// Recovers a node and invalidates routes.
+    pub fn recover_node(&mut self, n: NodeId) {
+        self.graph.recover_node(n);
+        self.router.invalidate();
+    }
+
+    /// Attempts a send: returns the delivery delay (and counts it sent), or
+    /// `None` and counts a drop. The caller schedules the delivery — this
+    /// keeps `Transport` usable both inside and outside a simulator world.
+    pub fn prepare_send(&mut self, from: NodeId, to: NodeId) -> Option<Duration> {
+        match self.latency(from, to) {
+            Some(d) => {
+                self.sent += 1;
+                Some(d)
+            }
+            None => {
+                self.dropped += 1;
+                None
+            }
+        }
+    }
+
+    /// Messages successfully dispatched.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages dropped for unreachability.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Sends a message on the simulator: `handler` runs after the route latency.
+/// Returns `false` (message dropped) when `to` is unreachable from `from`.
+pub fn send<W>(
+    sim: &mut Simulator<W>,
+    transport: &mut Transport,
+    from: NodeId,
+    to: NodeId,
+    handler: impl FnOnce(&mut Simulator<W>) + 'static,
+) -> bool {
+    match transport.prepare_send(from, to) {
+        Some(delay) => {
+            sim.schedule_in(delay, handler);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn transport() -> Transport {
+        Transport::new(OverlayGraph::full_mesh(&[
+            (n(0), n(1), ms(30)),
+            (n(1), n(2), ms(20)),
+            (n(0), n(2), ms(100)),
+        ]))
+    }
+
+    #[test]
+    fn delivers_after_route_latency() {
+        let mut t = transport();
+        let mut sim = Simulator::new(Vec::<u64>::new());
+        assert!(send(&mut sim, &mut t, n(0), n(2), |s| {
+            let now = s.now().as_micros();
+            s.world.push(now);
+        }));
+        sim.run_to_completion(10);
+        // Best route 0-1-2 = 50ms.
+        assert_eq!(sim.world, vec![ms(50).as_micros()]);
+        assert_eq!(t.sent(), 1);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn drops_to_unreachable_destination() {
+        let mut t = transport();
+        t.fail_node(n(1));
+        t.fail_link(n(0), n(2));
+        let mut sim = Simulator::new(0u32);
+        assert!(!send(&mut sim, &mut t, n(0), n(2), |s| s.world += 1));
+        sim.run_to_completion(10);
+        assert_eq!(sim.world, 0);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn failure_changes_latency_and_recovery_restores_it() {
+        let mut t = transport();
+        assert_eq!(t.latency(n(0), n(2)), Some(ms(50)));
+        t.fail_link(n(0), n(1));
+        assert_eq!(t.latency(n(0), n(2)), Some(ms(100)));
+        t.recover_link(n(0), n(1));
+        assert_eq!(t.latency(n(0), n(2)), Some(ms(50)));
+    }
+
+    #[test]
+    fn node_failure_and_recovery_round_trip() {
+        let mut t = transport();
+        t.fail_node(n(2));
+        assert_eq!(t.latency(n(0), n(2)), None);
+        t.recover_node(n(2));
+        assert_eq!(t.latency(n(0), n(2)), Some(ms(50)));
+    }
+
+    #[test]
+    fn self_send_is_immediate() {
+        let mut t = transport();
+        assert_eq!(t.prepare_send(n(1), n(1)), Some(Duration::ZERO));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the overlay.
+
+use acm_overlay::election::elect;
+use acm_overlay::graph::{NodeId, OverlayGraph};
+use acm_overlay::routing::dijkstra;
+use acm_sim::rng::SimRng;
+use acm_sim::time::Duration;
+use proptest::prelude::*;
+
+/// Builds a random graph from a seed: `n` nodes, ring + random chords,
+/// optional random failures.
+fn random_graph(seed: u64, n: u32, fail_prob: f64) -> OverlayGraph {
+    let mut rng = SimRng::new(seed);
+    let mut g = OverlayGraph::new();
+    for i in 0..n {
+        g.add_node(NodeId(i));
+    }
+    for i in 0..n {
+        g.add_link(
+            NodeId(i),
+            NodeId((i + 1) % n),
+            Duration::from_millis(rng.index(50) as u64 + 1),
+        );
+    }
+    for i in 0..n {
+        for j in (i + 2)..n {
+            if rng.bernoulli(0.3) {
+                g.add_link(
+                    NodeId(i),
+                    NodeId(j),
+                    Duration::from_millis(rng.index(80) as u64 + 1),
+                );
+            }
+        }
+    }
+    for i in 0..n {
+        if rng.bernoulli(fail_prob) {
+            g.fail_node(NodeId(i));
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn routes_only_traverse_usable_links(
+        seed in 0u64..2_000,
+        n in 3u32..12,
+    ) {
+        let g = random_graph(seed, n, 0.2);
+        for src in 0..n {
+            for dst in 0..n {
+                if let Some(route) = dijkstra(&g, NodeId(src), NodeId(dst)) {
+                    for hop in route.path.windows(2) {
+                        prop_assert!(
+                            g.link_usable(hop[0], hop[1]),
+                            "route uses dead link {:?}",
+                            hop
+                        );
+                    }
+                    // Path endpoints match the query.
+                    prop_assert_eq!(route.path.first(), Some(&NodeId(src)));
+                    prop_assert_eq!(route.path.last(), Some(&NodeId(dst)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_latency_equals_sum_of_hops(
+        seed in 0u64..2_000,
+        n in 3u32..10,
+    ) {
+        let g = random_graph(seed, n, 0.0);
+        let route = dijkstra(&g, NodeId(0), NodeId(n - 1)).expect("connected ring");
+        let mut total = Duration::ZERO;
+        for hop in route.path.windows(2) {
+            let hop_latency = g
+                .usable_neighbors(hop[0])
+                .into_iter()
+                .find(|(m, _)| *m == hop[1])
+                .map(|(_, d)| d)
+                .expect("hop is a usable link");
+            total += hop_latency;
+        }
+        prop_assert_eq!(total, route.latency);
+    }
+
+    #[test]
+    fn triangle_inequality_for_routes(
+        seed in 0u64..1_000,
+        n in 3u32..10,
+    ) {
+        // Best route a->c is never worse than routing a->b->c.
+        let g = random_graph(seed, n, 0.0);
+        let (a, b, c) = (NodeId(0), NodeId(n / 2), NodeId(n - 1));
+        let ac = dijkstra(&g, a, c).expect("connected").latency;
+        let ab = dijkstra(&g, a, b).expect("connected").latency;
+        let bc = dijkstra(&g, b, c).expect("connected").latency;
+        prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn every_partition_elects_exactly_its_minimum(
+        seed in 0u64..2_000,
+        n in 2u32..12,
+    ) {
+        let g = random_graph(seed, n, 0.3);
+        let outcome = elect(&g);
+        // Every alive node has a leader that is alive, reachable and no
+        // larger than itself... the minimum of its component.
+        for node in g.alive_nodes() {
+            let leader = outcome.leader(node).expect("alive node has a leader");
+            prop_assert!(g.is_alive(leader));
+            prop_assert!(leader <= node);
+            // The leader is reachable from the node.
+            prop_assert!(
+                dijkstra(&g, node, leader).is_some(),
+                "{node} cannot reach its leader {leader}"
+            );
+            // No alive node reachable from `node` is smaller than the leader.
+            for other in g.alive_nodes() {
+                if dijkstra(&g, node, other).is_some() {
+                    prop_assert!(leader <= other, "{node}: {other} < leader {leader}");
+                }
+            }
+        }
+    }
+}

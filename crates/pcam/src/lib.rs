@@ -1,0 +1,36 @@
+//! PCAM: proactive cloud availability management for a single region.
+//!
+//! PCAM (paper ref \[6\]) "keeps some VMs hosting server replicas in the
+//! ACTIVE state, while other VMs in the STANDBY state. The state of a VM is
+//! controlled by a Virtual Machine Controller (VMC) [...] Whenever the
+//! estimated RTTF of an ACTIVE VM is less than a threshold, VMC sends an
+//! ACTIVATE command to a VM in the STANDBY state and a REJUVENATE command
+//! to the about-to-fail VM" (paper Sec. III). The VMC also hosts the
+//! intra-region load balancer that spreads client requests over ACTIVE VMs.
+//!
+//! * [`pool`] — the region's VM pool with ACTIVE/STANDBY bookkeeping.
+//! * [`balancer`] — intra-region load-balancing strategies.
+//! * [`vmc`] — the controller: RTTF prediction, proactive rejuvenation,
+//!   reactive failure recovery, RMTTF reporting, era processing.
+//! * [`training`] — harvesting the F2PM feature database from instrumented
+//!   runs of the VM model.
+//! * [`events`] — the per-request grain: an event-driven region façade for
+//!   discrete-event simulations.
+//! * [`online`] — retroactive feature labelling and predictor-drift
+//!   detection (the retraining loop a live deployment needs).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod balancer;
+pub mod events;
+pub mod online;
+pub mod pool;
+pub mod training;
+pub mod vmc;
+
+pub use balancer::BalancerStrategy;
+pub use events::{RegionSim, RegionSimStats};
+pub use online::{DriftMonitor, OnlineLabeler};
+pub use pool::VmPool;
+pub use vmc::{RegionConfig, RegionEraReport, RttfSource, Vmc};

@@ -1,0 +1,326 @@
+//! Online feature labelling and drift detection (extension).
+//!
+//! F2PM's initial phase trains the RTTF models once, offline. In a live
+//! deployment the anomaly profile can change (a new code release leaks
+//! differently), silently invalidating the models. This module provides
+//! the two pieces a production VMC needs to notice and recover:
+//!
+//! * [`OnlineLabeler`] — retroactive labelling: the monitoring agent keeps
+//!   every feature snapshot; when a VM reaches its failure point the
+//!   snapshots become supervised rows (`RTTF = t_fail − t_snapshot`).
+//!   Proactive rejuvenations *censor* their snapshots (the true failure
+//!   time was never observed), exactly as in survival analysis.
+//! * [`DriftMonitor`] — a sliding-window miss-rate detector: when the
+//!   fraction of failures the predictor failed to preempt (reactive
+//!   failures) exceeds a bound, the predictor should be retrained on the
+//!   freshly labelled data.
+
+use acm_ml::dataset::Dataset;
+use acm_sim::time::SimTime;
+use acm_vm::{FeatureVec, VmId, FEATURE_NAMES};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Retroactive labeller for the F2PM feature stream.
+#[derive(Debug, Clone)]
+pub struct OnlineLabeler {
+    pending: BTreeMap<VmId, Vec<(SimTime, FeatureVec)>>,
+    db: Dataset,
+    censored_snapshots: u64,
+}
+
+impl Default for OnlineLabeler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OnlineLabeler {
+    /// Creates an empty labeller.
+    pub fn new() -> Self {
+        OnlineLabeler {
+            pending: BTreeMap::new(),
+            db: Dataset::new(FEATURE_NAMES),
+            censored_snapshots: 0,
+        }
+    }
+
+    /// Records a feature snapshot for a VM (call once per era per VM).
+    pub fn observe(&mut self, vm: VmId, now: SimTime, features: FeatureVec) {
+        self.pending.entry(vm).or_default().push((now, features));
+    }
+
+    /// The VM reached its failure point at `at`: every pending snapshot
+    /// becomes a labelled row with `RTTF = at − t_snapshot`. Returns how
+    /// many rows were labelled.
+    pub fn on_failure(&mut self, vm: VmId, at: SimTime) -> usize {
+        let Some(snapshots) = self.pending.remove(&vm) else {
+            return 0;
+        };
+        let mut labelled = 0;
+        for (t, features) in snapshots {
+            if t > at || !features.is_finite() {
+                continue;
+            }
+            let rttf = at.since(t).as_secs_f64();
+            self.db.push(features.as_slice().to_vec(), rttf);
+            labelled += 1;
+        }
+        labelled
+    }
+
+    /// The VM was proactively rejuvenated: its pending snapshots are
+    /// censored (no failure time was observed) and dropped.
+    pub fn on_rejuvenation(&mut self, vm: VmId) {
+        if let Some(snapshots) = self.pending.remove(&vm) {
+            self.censored_snapshots += snapshots.len() as u64;
+        }
+    }
+
+    /// The labelled database harvested so far.
+    pub fn database(&self) -> &Dataset {
+        &self.db
+    }
+
+    /// Labelled rows available for retraining.
+    pub fn labelled_rows(&self) -> usize {
+        self.db.len()
+    }
+
+    /// Snapshots discarded because their VM was rejuvenated first.
+    pub fn censored_snapshots(&self) -> u64 {
+        self.censored_snapshots
+    }
+
+    /// Snapshots still awaiting an outcome.
+    pub fn pending_snapshots(&self) -> usize {
+        self.pending.values().map(Vec::len).sum()
+    }
+}
+
+/// Sliding-window predictor-miss detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    /// Ring buffer of recent failure outcomes: `true` = reactive (missed).
+    window: Vec<bool>,
+    capacity: usize,
+    next: usize,
+    filled: usize,
+    /// Declare drift when the miss fraction exceeds this (with a full
+    /// enough window).
+    miss_bound: f64,
+    /// Minimum observations before drift can be declared.
+    min_samples: usize,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor over the last `capacity` failure events, flagging
+    /// drift when more than `miss_bound` of them were reactive.
+    pub fn new(capacity: usize, miss_bound: f64, min_samples: usize) -> Self {
+        assert!(capacity > 0 && (0.0..=1.0).contains(&miss_bound));
+        assert!(min_samples > 0 && min_samples <= capacity);
+        DriftMonitor {
+            window: vec![false; capacity],
+            capacity,
+            next: 0,
+            filled: 0,
+            miss_bound,
+            min_samples,
+        }
+    }
+
+    /// Records one end-of-life event: `reactive = true` when the VM failed
+    /// before the predictor acted.
+    pub fn record(&mut self, reactive: bool) {
+        self.window[self.next] = reactive;
+        self.next = (self.next + 1) % self.capacity;
+        self.filled = (self.filled + 1).min(self.capacity);
+    }
+
+    /// Fraction of recent end-of-life events the predictor missed.
+    pub fn miss_rate(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        let misses = self.window[..self.filled].iter().filter(|m| **m).count();
+        misses as f64 / self.filled as f64
+    }
+
+    /// True when enough evidence has accumulated that the deployed
+    /// predictor no longer fits the environment.
+    pub fn drifted(&self) -> bool {
+        self.filled >= self.min_samples && self.miss_rate() > self.miss_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acm_ml::model::ModelKind;
+    use acm_ml::toolchain::F2pmToolchain;
+    use acm_sim::rng::SimRng;
+    use acm_sim::time::Duration;
+    use acm_vm::{AnomalyConfig, FailureSpec, Vm, VmFlavor, VmState};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn snapshot(vm: &Vm, now: SimTime, lambda: f64) -> FeatureVec {
+        vm.features(now, lambda)
+    }
+
+    #[test]
+    fn failure_labels_all_pending_snapshots() {
+        let mut labeler = OnlineLabeler::new();
+        let vm_id = VmId(1);
+        let vm = Vm::new(
+            vm_id,
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            VmState::Active,
+            SimRng::new(1),
+        );
+        labeler.observe(vm_id, t(0), snapshot(&vm, t(0), 10.0));
+        labeler.observe(vm_id, t(30), snapshot(&vm, t(30), 10.0));
+        assert_eq!(labeler.pending_snapshots(), 2);
+        let labelled = labeler.on_failure(vm_id, t(100));
+        assert_eq!(labelled, 2);
+        assert_eq!(labeler.labelled_rows(), 2);
+        // Labels are the true remaining times.
+        let mut targets = labeler.database().targets().to_vec();
+        targets.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(targets, vec![70.0, 100.0]);
+    }
+
+    #[test]
+    fn rejuvenation_censors() {
+        let mut labeler = OnlineLabeler::new();
+        let vm = VmId(2);
+        labeler.observe(vm, t(0), FeatureVec::new([1.0; acm_vm::FEATURE_COUNT]));
+        labeler.on_rejuvenation(vm);
+        assert_eq!(labeler.labelled_rows(), 0);
+        assert_eq!(labeler.censored_snapshots(), 1);
+        // A later failure report for the same VM labels nothing.
+        assert_eq!(labeler.on_failure(vm, t(10)), 0);
+    }
+
+    #[test]
+    fn drift_monitor_flags_sustained_misses() {
+        let mut m = DriftMonitor::new(10, 0.5, 5);
+        for _ in 0..4 {
+            m.record(true);
+        }
+        assert!(!m.drifted(), "below min_samples");
+        m.record(true);
+        assert!(m.drifted(), "5/5 misses is drift");
+        // Healthy streak washes the window clean.
+        for _ in 0..10 {
+            m.record(false);
+        }
+        assert!(!m.drifted());
+        assert_eq!(m.miss_rate(), 0.0);
+    }
+
+    /// The end-to-end drift story: a predictor trained on the original
+    /// anomaly profile degrades when the profile changes (leaks triple);
+    /// retraining on online-harvested labels restores accuracy.
+    #[test]
+    fn retraining_on_harvested_labels_recovers_from_drift() {
+        let flavor = VmFlavor::m3_medium();
+        let spec = FailureSpec::default();
+        let lambda = 12.0;
+        let era = Duration::from_secs(30);
+
+        // Phase 1: offline training on the ORIGINAL profile.
+        let mut rng = SimRng::new(3);
+        let old_cfg = AnomalyConfig::default();
+        let old_db = crate::training::collect_database(
+            &flavor,
+            &old_cfg,
+            &spec,
+            &crate::training::CollectionConfig::default(),
+            &mut rng,
+        );
+        let toolchain = F2pmToolchain {
+            models: vec![ModelKind::RepTree],
+            ..Default::default()
+        };
+        let (stale, _) = toolchain.run(&old_db, &mut rng);
+
+        // Phase 2: the environment drifts — leaks are 3x larger.
+        let new_cfg = AnomalyConfig {
+            leak_size_mb: old_cfg.leak_size_mb * 3.0,
+            ..old_cfg.clone()
+        };
+        // Harvest labels online by watching VMs run to failure under the
+        // NEW profile (reactive path: no rejuvenation).
+        let mut labeler = OnlineLabeler::new();
+        for seed in 0..12 {
+            let id = VmId(seed as u32);
+            let mut vm = Vm::new(
+                id,
+                flavor.clone(),
+                new_cfg.clone(),
+                spec.clone(),
+                VmState::Active,
+                SimRng::new(100 + seed),
+            );
+            let mut now = SimTime::ZERO;
+            loop {
+                labeler.observe(id, now, vm.features(now, lambda));
+                vm.process_era(now, era, lambda);
+                now += era;
+                if let VmState::Failed { at, .. } = vm.state() {
+                    labeler.on_failure(id, at);
+                    break;
+                }
+                assert!(now < t(20_000), "never failed");
+            }
+        }
+        assert!(labeler.labelled_rows() > 60, "rows {}", labeler.labelled_rows());
+
+        // Phase 3: retrain on the harvested labels.
+        let mut rng2 = SimRng::new(4);
+        let (fresh, _) = toolchain.run(labeler.database(), &mut rng2);
+
+        // Score both predictors against ground truth in the NEW world.
+        let mut stale_err = 0.0;
+        let mut fresh_err = 0.0;
+        let mut checks = 0;
+        let mut vm = Vm::new(
+            VmId(99),
+            flavor.clone(),
+            new_cfg.clone(),
+            spec.clone(),
+            VmState::Active,
+            SimRng::new(999),
+        );
+        let mut now = SimTime::ZERO;
+        loop {
+            let truth = vm.true_rttf(lambda);
+            if !truth.is_finite() || truth < 60.0 {
+                break;
+            }
+            let f = vm.features(now, lambda);
+            stale_err += (stale.predict(f.as_slice()) - truth).abs() / truth;
+            fresh_err += (fresh.predict(f.as_slice()) - truth).abs() / truth;
+            checks += 1;
+            vm.process_era(now, era, lambda);
+            now += era;
+            if !vm.is_active() {
+                break;
+            }
+        }
+        assert!(checks >= 3);
+        let stale_err = stale_err / checks as f64;
+        let fresh_err = fresh_err / checks as f64;
+        assert!(
+            fresh_err < stale_err * 0.6,
+            "retraining should recover accuracy: stale {stale_err:.3}, fresh {fresh_err:.3}"
+        );
+        // And the stale model is genuinely broken after the drift.
+        assert!(stale_err > 0.3, "drift too mild to matter: {stale_err:.3}");
+    }
+}

@@ -1,0 +1,349 @@
+//! The region's VM pool.
+//!
+//! Owns every VM replica of one cloud region and maintains the
+//! ACTIVE/STANDBY invariant: the pool tries to keep `target_active` VMs
+//! serving; standbys are promoted when actives rejuvenate or fail, and
+//! rejuvenated VMs come back as standbys.
+
+use acm_sim::rng::SimRng;
+use acm_sim::time::SimTime;
+use acm_vm::{AnomalyConfig, FailureSpec, Vm, VmFlavor, VmId, VmState};
+use serde::{Deserialize, Serialize};
+
+/// Pool statistics snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolCounts {
+    /// Serving VMs.
+    pub active: usize,
+    /// Healthy spares.
+    pub standby: usize,
+    /// VMs undergoing rejuvenation.
+    pub rejuvenating: usize,
+    /// VMs sitting in the failed state (not yet sent to rejuvenation).
+    pub failed: usize,
+}
+
+impl PoolCounts {
+    /// Total pool size.
+    pub fn total(&self) -> usize {
+        self.active + self.standby + self.rejuvenating + self.failed
+    }
+}
+
+/// A region's VM pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmPool {
+    vms: Vec<Vm>,
+    target_active: usize,
+    next_id: u32,
+    flavor: VmFlavor,
+    anomaly_cfg: AnomalyConfig,
+    failure_spec: FailureSpec,
+    rng: SimRng,
+}
+
+impl VmPool {
+    /// Builds a pool of `total` identical VMs, the first `target_active` of
+    /// which start ACTIVE and the rest STANDBY.
+    pub fn new(
+        flavor: VmFlavor,
+        anomaly_cfg: AnomalyConfig,
+        failure_spec: FailureSpec,
+        total: usize,
+        target_active: usize,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(total > 0, "pool must contain at least one VM");
+        assert!(
+            target_active > 0 && target_active <= total,
+            "target_active must be in 1..=total"
+        );
+        let vms = (0..total)
+            .map(|i| {
+                let state = if i < target_active {
+                    VmState::Active
+                } else {
+                    VmState::Standby
+                };
+                Vm::new(
+                    VmId(i as u32),
+                    flavor.clone(),
+                    anomaly_cfg.clone(),
+                    failure_spec.clone(),
+                    state,
+                    rng.split(),
+                )
+            })
+            .collect();
+        VmPool {
+            vms,
+            target_active,
+            next_id: total as u32,
+            flavor,
+            anomaly_cfg,
+            failure_spec,
+            rng,
+        }
+    }
+
+    /// The flavor every VM in this pool shares.
+    pub fn flavor(&self) -> &VmFlavor {
+        &self.flavor
+    }
+
+    /// The failure spec in force.
+    pub fn failure_spec(&self) -> &FailureSpec {
+        &self.failure_spec
+    }
+
+    /// The anomaly configuration in force.
+    pub fn anomaly_config(&self) -> &AnomalyConfig {
+        &self.anomaly_cfg
+    }
+
+    /// Desired number of simultaneously ACTIVE VMs.
+    pub fn target_active(&self) -> usize {
+        self.target_active
+    }
+
+    /// Adjusts the desired active count (autoscaling). Clamped to pool size.
+    pub fn set_target_active(&mut self, target: usize) {
+        self.target_active = target.clamp(1, self.vms.len());
+    }
+
+    /// All VMs (read).
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// All VMs (write).
+    pub fn vms_mut(&mut self) -> &mut [Vm] {
+        &mut self.vms
+    }
+
+    /// VM lookup by id.
+    pub fn vm(&self, id: VmId) -> Option<&Vm> {
+        self.vms.iter().find(|v| v.id() == id)
+    }
+
+    /// Mutable VM lookup by id.
+    pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
+        self.vms.iter_mut().find(|v| v.id() == id)
+    }
+
+    /// Current state census.
+    pub fn counts(&self) -> PoolCounts {
+        let mut c = PoolCounts {
+            active: 0,
+            standby: 0,
+            rejuvenating: 0,
+            failed: 0,
+        };
+        for vm in &self.vms {
+            match vm.state() {
+                VmState::Active => c.active += 1,
+                VmState::Standby => c.standby += 1,
+                VmState::Rejuvenating { .. } => c.rejuvenating += 1,
+                VmState::Failed { .. } => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// Ids of currently ACTIVE VMs (ascending).
+    pub fn active_ids(&self) -> Vec<VmId> {
+        self.vms
+            .iter()
+            .filter(|v| v.is_active())
+            .map(|v| v.id())
+            .collect()
+    }
+
+    /// Promotes standbys until the active count reaches the target or the
+    /// spares run out. Returns how many were activated.
+    pub fn replenish_active(&mut self, now: SimTime) -> usize {
+        let mut activated = 0;
+        loop {
+            let counts = self.counts();
+            if counts.active >= self.target_active {
+                break;
+            }
+            let Some(standby) = self.vms.iter_mut().find(|v| v.is_standby()) else {
+                break;
+            };
+            standby.activate(now);
+            activated += 1;
+        }
+        activated
+    }
+
+    /// Demotes the freshest ACTIVE VMs back to STANDBY while the active
+    /// count exceeds the target (autoscaling scale-down). The freshest VM
+    /// is demoted so the serving set keeps the damaged VMs visible to the
+    /// rejuvenation logic. Returns how many were demoted.
+    pub fn demote_excess_active(&mut self, now: SimTime) -> usize {
+        let mut demoted = 0;
+        loop {
+            let active_ids = self.active_ids();
+            if active_ids.len() <= self.target_active {
+                break;
+            }
+            // Freshest = fewest requests since refresh.
+            let freshest = active_ids
+                .iter()
+                .min_by_key(|id| {
+                    self.vm(**id)
+                        .map(|v| v.anomaly().requests_since_refresh)
+                        .unwrap_or(u64::MAX)
+                })
+                .copied()
+                .expect("non-empty active set");
+            self.vm_mut(freshest).expect("active id").deactivate(now);
+            demoted += 1;
+        }
+        demoted
+    }
+
+    /// Completes any due rejuvenations. Returns how many finished.
+    pub fn poll_rejuvenations(&mut self, now: SimTime) -> usize {
+        self.vms
+            .iter_mut()
+            .map(|v| usize::from(v.poll_rejuvenation(now)))
+            .sum()
+    }
+
+    /// Grows the pool with one fresh STANDBY VM (autoscaling ADDVMS path).
+    pub fn add_vm(&mut self) -> VmId {
+        let id = VmId(self.next_id);
+        self.next_id += 1;
+        let child_rng = self.rng.split();
+        self.vms.push(Vm::new(
+            id,
+            self.flavor.clone(),
+            self.anomaly_cfg.clone(),
+            self.failure_spec.clone(),
+            VmState::Standby,
+            child_rng,
+        ));
+        id
+    }
+
+    /// Removes one STANDBY VM, if any (autoscaling scale-down). Never
+    /// removes serving or rejuvenating VMs.
+    pub fn remove_standby(&mut self) -> Option<VmId> {
+        let idx = self.vms.iter().position(|v| v.is_standby())?;
+        Some(self.vms.remove(idx).id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acm_sim::time::Duration;
+
+    fn pool(total: usize, active: usize) -> VmPool {
+        VmPool::new(
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            total,
+            active,
+            SimRng::new(1),
+        )
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn initial_census_matches_construction() {
+        let p = pool(6, 4);
+        let c = p.counts();
+        assert_eq!(c.active, 4);
+        assert_eq!(c.standby, 2);
+        assert_eq!(c.total(), 6);
+        assert_eq!(p.active_ids().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_active")]
+    fn zero_active_target_panics() {
+        let _ = pool(4, 0);
+    }
+
+    #[test]
+    fn replenish_promotes_standbys() {
+        let mut p = pool(5, 3);
+        // Rejuvenate one active: census drops to 2 active.
+        let id = p.active_ids()[0];
+        p.vm_mut(id)
+            .unwrap()
+            .start_rejuvenation(t(0), Duration::from_secs(60));
+        assert_eq!(p.counts().active, 2);
+        let activated = p.replenish_active(t(0));
+        assert_eq!(activated, 1);
+        assert_eq!(p.counts().active, 3);
+        assert_eq!(p.counts().standby, 1);
+    }
+
+    #[test]
+    fn replenish_stops_when_spares_exhausted() {
+        let mut p = pool(3, 3); // no standbys at all
+        let id = p.active_ids()[0];
+        p.vm_mut(id)
+            .unwrap()
+            .start_rejuvenation(t(0), Duration::from_secs(60));
+        assert_eq!(p.replenish_active(t(0)), 0);
+        assert_eq!(p.counts().active, 2);
+    }
+
+    #[test]
+    fn poll_rejuvenations_returns_spares() {
+        let mut p = pool(4, 2);
+        let id = p.active_ids()[0];
+        p.vm_mut(id)
+            .unwrap()
+            .start_rejuvenation(t(0), Duration::from_secs(30));
+        assert_eq!(p.poll_rejuvenations(t(10)), 0);
+        assert_eq!(p.poll_rejuvenations(t(30)), 1);
+        assert_eq!(p.counts().standby, 3);
+    }
+
+    #[test]
+    fn add_vm_grows_pool_with_unique_ids() {
+        let mut p = pool(3, 2);
+        let a = p.add_vm();
+        let b = p.add_vm();
+        assert_ne!(a, b);
+        assert_eq!(p.counts().total(), 5);
+        assert_eq!(p.counts().standby, 3);
+        assert!(p.vm(a).unwrap().is_standby());
+    }
+
+    #[test]
+    fn remove_standby_only_takes_spares() {
+        let mut p = pool(3, 3);
+        assert_eq!(p.remove_standby(), None, "no spares to remove");
+        let mut p = pool(4, 3);
+        assert!(p.remove_standby().is_some());
+        assert_eq!(p.counts().total(), 3);
+        assert_eq!(p.counts().active, 3);
+    }
+
+    #[test]
+    fn set_target_active_clamps() {
+        let mut p = pool(4, 2);
+        p.set_target_active(100);
+        assert_eq!(p.target_active(), 4);
+        p.set_target_active(0);
+        assert_eq!(p.target_active(), 1);
+    }
+
+    #[test]
+    fn vm_lookup_by_id() {
+        let p = pool(3, 2);
+        assert!(p.vm(VmId(2)).is_some());
+        assert!(p.vm(VmId(99)).is_none());
+    }
+}

@@ -1,0 +1,443 @@
+//! The Virtual Machine Controller (VMC).
+//!
+//! One VMC manages one cloud region: it maps the F2PM prediction model onto
+//! each VM, estimates RTTFs at runtime, proactively rejuvenates VMs whose
+//! predicted RTTF falls below the user threshold (activating a standby to
+//! take over), recovers reactively from the failures the predictor missed,
+//! spreads the region's request rate over the ACTIVE VMs, and reports the
+//! region's mean time to failure (the `lastRMTTF_i` of paper Eq. 1).
+
+use crate::balancer::BalancerStrategy;
+use crate::pool::{PoolCounts, VmPool};
+use acm_ml::toolchain::RttfPredictor;
+use acm_sim::rng::SimRng;
+use acm_sim::stats::OnlineStats;
+use acm_sim::time::{Duration, SimTime};
+use acm_vm::{AnomalyConfig, FailureSpec, Vm, VmFlavor, VmState};
+use serde::{Deserialize, Serialize};
+
+/// Where the VMC gets its RTTF estimates.
+#[derive(Debug, Clone)]
+pub enum RttfSource {
+    /// Ground truth from the simulator (perfect-prediction baseline).
+    Oracle,
+    /// An F2PM-trained model over the monitored feature vector — the
+    /// realistic path; its errors flow into the control loop exactly as
+    /// they would in the deployed system.
+    Model(RttfPredictor),
+}
+
+impl RttfSource {
+    /// Estimated RTTF (seconds) of one VM at the given arrival rate.
+    pub fn predict(&self, vm: &Vm, now: SimTime, lambda: f64) -> f64 {
+        match self {
+            RttfSource::Oracle => vm.true_rttf(lambda),
+            RttfSource::Model(m) => m.predict(vm.features(now, lambda).as_slice()),
+        }
+    }
+}
+
+/// Static configuration of one region's controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Display name (e.g. `"eu-west-1"`).
+    pub name: String,
+    /// VM flavor of the region's pool.
+    pub flavor: VmFlavor,
+    /// Anomaly injection parameters.
+    pub anomaly: AnomalyConfig,
+    /// Failure-point definition.
+    pub failure_spec: FailureSpec,
+    /// Total VMs provisioned in the region.
+    pub total_vms: usize,
+    /// Desired simultaneously ACTIVE VMs.
+    pub target_active: usize,
+    /// Rejuvenate a VM when its predicted RTTF drops below this.
+    pub rttf_threshold: Duration,
+    /// How long a rejuvenation keeps a VM out of service.
+    pub rejuvenation_time: Duration,
+    /// Intra-region balancing strategy.
+    pub balancer: BalancerStrategy,
+    /// Price of one VM-hour in this region, USD. The paper motivates
+    /// heterogeneous multi-cloud deployments with exactly this: "different
+    /// cloud providers offer various types of VMs at different costs"
+    /// (Sec. I); the cost-aware policy extension and the cost accounting in
+    /// `acm-core::cost` consume it.
+    pub vm_hour_usd: f64,
+}
+
+impl RegionConfig {
+    /// A reasonable starting configuration for a named region.
+    pub fn new(name: impl Into<String>, flavor: VmFlavor, total: usize, active: usize) -> Self {
+        RegionConfig {
+            name: name.into(),
+            flavor,
+            anomaly: AnomalyConfig::default(),
+            failure_spec: FailureSpec::default(),
+            total_vms: total,
+            target_active: active,
+            rttf_threshold: Duration::from_secs(120),
+            rejuvenation_time: Duration::from_secs(60),
+            balancer: BalancerStrategy::EqualShare,
+            vm_hour_usd: 0.05,
+        }
+    }
+}
+
+/// What one region experienced during one control era.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionEraReport {
+    /// Mean per-VM MTTF estimate over ACTIVE VMs at era end, seconds —
+    /// the `lastRMTTF_i` this VMC sends to the leader.
+    pub last_rmttf: f64,
+    /// Requests offered to the region this era.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completion-weighted mean response time, seconds.
+    pub mean_response_s: f64,
+    /// Proactive rejuvenations triggered this era.
+    pub proactive_rejuvenations: u32,
+    /// Reactive failures suffered this era (prediction misses).
+    pub reactive_failures: u32,
+    /// ACTIVE VM count after control actions.
+    pub active_vms: usize,
+    /// Mean utilisation across serving VMs.
+    pub utilization: f64,
+}
+
+/// The per-region controller.
+#[derive(Debug, Clone)]
+pub struct Vmc {
+    config: RegionConfig,
+    pool: VmPool,
+    rttf_source: RttfSource,
+    /// Lifetime counters.
+    proactive_total: u64,
+    reactive_total: u64,
+}
+
+impl Vmc {
+    /// Builds the controller and its pool.
+    pub fn new(config: RegionConfig, rttf_source: RttfSource, rng: SimRng) -> Self {
+        let pool = VmPool::new(
+            config.flavor.clone(),
+            config.anomaly.clone(),
+            config.failure_spec.clone(),
+            config.total_vms,
+            config.target_active,
+            rng,
+        );
+        Vmc {
+            config,
+            pool,
+            rttf_source,
+            proactive_total: 0,
+            reactive_total: 0,
+        }
+    }
+
+    /// Region name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RegionConfig {
+        &self.config
+    }
+
+    /// The pool (read).
+    pub fn pool(&self) -> &VmPool {
+        &self.pool
+    }
+
+    /// The pool (write — autoscaling hooks).
+    pub fn pool_mut(&mut self) -> &mut VmPool {
+        &mut self.pool
+    }
+
+    /// Current pool census.
+    pub fn counts(&self) -> PoolCounts {
+        self.pool.counts()
+    }
+
+    /// Lifetime proactive rejuvenation count.
+    pub fn proactive_total(&self) -> u64 {
+        self.proactive_total
+    }
+
+    /// Lifetime reactive failure count.
+    pub fn reactive_total(&self) -> u64 {
+        self.reactive_total
+    }
+
+    /// Estimated MTTF of one VM: predicted remaining time plus the lifetime
+    /// already survived (exact for the fluid anomaly model, and the natural
+    /// estimator a deployed VMC computes from its rejuvenation log).
+    pub fn vm_mttf_estimate(&self, vm: &Vm, now: SimTime, lambda: f64) -> f64 {
+        let rttf = self.rttf_source.predict(vm, now, lambda);
+        rttf + vm.age(now).as_secs_f64()
+    }
+
+    /// The region's current RMTTF estimate: the average MTTF estimate over
+    /// ACTIVE VMs ("calculated as the average MTTF of all active VMs in the
+    /// region", paper Sec. IV). Returns 0 when nothing is active.
+    pub fn region_mttf(&self, now: SimTime, region_lambda: f64) -> f64 {
+        let active: Vec<&Vm> = self.pool.vms().iter().filter(|v| v.is_active()).collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        let per_vm = region_lambda / active.len() as f64;
+        let mut s = OnlineStats::new();
+        for vm in active {
+            let m = self.vm_mttf_estimate(vm, now, per_vm);
+            s.push(m.min(1e7)); // clamp "never fails" to a large finite value
+        }
+        s.mean()
+    }
+
+    /// Runs one full control era for this region:
+    ///
+    /// 1. complete due rejuvenations, promote standbys to the target count,
+    /// 2. split `region_lambda` over ACTIVE VMs per the balancer,
+    /// 3. let every ACTIVE VM process its share (anomalies accumulate,
+    ///    failures may fire mid-era),
+    /// 4. recover reactively from failures (immediate rejuvenation +
+    ///    standby takeover),
+    /// 5. proactively rejuvenate any VM whose predicted RTTF is below the
+    ///    threshold, if a standby can take its place,
+    /// 6. report the era, including `lastRMTTF`.
+    pub fn process_era(
+        &mut self,
+        now: SimTime,
+        era: Duration,
+        region_lambda: f64,
+    ) -> RegionEraReport {
+        // (1) housekeeping.
+        self.pool.poll_rejuvenations(now);
+        self.pool.replenish_active(now);
+        self.pool.demote_excess_active(now);
+
+        // (2) balance.
+        let active_ids = self.pool.active_ids();
+        let shares = {
+            let active: Vec<&Vm> = active_ids
+                .iter()
+                .map(|id| self.pool.vm(*id).expect("active id"))
+                .collect();
+            let per_vm_hint = if active.is_empty() {
+                0.0
+            } else {
+                region_lambda / active.len() as f64
+            };
+            let src = &self.rttf_source;
+            self.config.balancer.shares(&active, now, per_vm_hint, |vm| {
+                src.predict(vm, now, per_vm_hint)
+            })
+        };
+
+        // (3) serve.
+        let mut offered = 0;
+        let mut completed = 0;
+        let mut response_num = 0.0;
+        let mut util = OnlineStats::new();
+        let mut vm_lambdas: Vec<(acm_vm::VmId, f64)> = Vec::with_capacity(active_ids.len());
+        for (id, share) in active_ids.iter().zip(&shares) {
+            let lambda_vm = region_lambda * share;
+            vm_lambdas.push((*id, lambda_vm));
+            let vm = self.pool.vm_mut(*id).expect("active id");
+            let out = vm.process_era(now, era, lambda_vm);
+            offered += out.offered;
+            completed += out.completed;
+            if out.completed > 0 {
+                response_num += out.mean_response_s * out.completed as f64;
+            }
+            util.push(out.utilization.min(5.0));
+        }
+        // Completion-weighted mean response time, as the clients measure it.
+        let mean_response_s = if completed > 0 {
+            response_num / completed as f64
+        } else {
+            0.0
+        };
+
+        let end = now + era;
+
+        // (4) reactive recovery.
+        let mut reactive = 0;
+        for vm in self.pool.vms_mut() {
+            if matches!(vm.state(), VmState::Failed { .. }) {
+                vm.start_rejuvenation(end, self.config.rejuvenation_time);
+                reactive += 1;
+            }
+        }
+        self.pool.replenish_active(end);
+
+        // (5) proactive rejuvenation.
+        let threshold = self.config.rttf_threshold.as_secs_f64();
+        let mut proactive = 0;
+        loop {
+            let counts = self.pool.counts();
+            if counts.standby == 0 {
+                break; // no spare to take over: keep serving
+            }
+            // Worst predicted-RTTF active VM below threshold, if any.
+            let candidate = {
+                let mut worst: Option<(acm_vm::VmId, f64)> = None;
+                for (id, lambda_vm) in &vm_lambdas {
+                    let Some(vm) = self.pool.vm(*id) else { continue };
+                    if !vm.is_active() {
+                        continue;
+                    }
+                    let rttf = self.rttf_source.predict(vm, end, *lambda_vm);
+                    if rttf < threshold && worst.as_ref().is_none_or(|(_, w)| rttf < *w) {
+                        worst = Some((*id, rttf));
+                    }
+                }
+                worst
+            };
+            let Some((id, _)) = candidate else { break };
+            self.pool
+                .vm_mut(id)
+                .expect("candidate id")
+                .start_rejuvenation(end, self.config.rejuvenation_time);
+            proactive += 1;
+            self.pool.replenish_active(end);
+        }
+
+        self.proactive_total += proactive as u64;
+        self.reactive_total += reactive as u64;
+
+        // (6) report.
+        let last_rmttf = self.region_mttf(end, region_lambda);
+        RegionEraReport {
+            last_rmttf,
+            offered,
+            completed,
+            mean_response_s,
+            proactive_rejuvenations: proactive,
+            reactive_failures: reactive,
+            active_vms: self.pool.counts().active,
+            utilization: util.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_vmc(total: usize, active: usize, source: RttfSource) -> Vmc {
+        let cfg = RegionConfig::new("test-region", VmFlavor::m3_medium(), total, active);
+        Vmc::new(cfg, source, SimRng::new(7))
+    }
+
+    fn run_eras(vmc: &mut Vmc, eras: usize, lambda: f64) -> Vec<RegionEraReport> {
+        let era = Duration::from_secs(30);
+        let mut now = SimTime::ZERO;
+        let mut out = Vec::new();
+        for _ in 0..eras {
+            out.push(vmc.process_era(now, era, lambda));
+            now += era;
+        }
+        out
+    }
+
+    #[test]
+    fn healthy_region_serves_everything() {
+        let mut vmc = mk_vmc(6, 4, RttfSource::Oracle);
+        let reports = run_eras(&mut vmc, 3, 20.0);
+        for r in &reports {
+            assert_eq!(r.offered, r.completed);
+            assert!(r.mean_response_s < 0.2, "response {}", r.mean_response_s);
+            assert_eq!(r.active_vms, 4);
+        }
+    }
+
+    #[test]
+    fn proactive_rejuvenation_preempts_failures_with_oracle() {
+        let mut vmc = mk_vmc(6, 4, RttfSource::Oracle);
+        // Long run at substantial load: with perfect predictions every
+        // failure must be preempted.
+        let reports = run_eras(&mut vmc, 60, 40.0);
+        let reactive: u32 = reports.iter().map(|r| r.reactive_failures).sum();
+        let proactive: u32 = reports.iter().map(|r| r.proactive_rejuvenations).sum();
+        assert_eq!(reactive, 0, "oracle must never miss a failure");
+        assert!(proactive > 0, "sustained load must trigger rejuvenations");
+    }
+
+    #[test]
+    fn rmttf_reflects_load_level() {
+        let mut light = mk_vmc(6, 4, RttfSource::Oracle);
+        let mut heavy = mk_vmc(6, 4, RttfSource::Oracle);
+        let light_rmttf = run_eras(&mut light, 10, 10.0).last().unwrap().last_rmttf;
+        let heavy_rmttf = run_eras(&mut heavy, 10, 40.0).last().unwrap().last_rmttf;
+        assert!(
+            light_rmttf > 2.0 * heavy_rmttf,
+            "light {light_rmttf} vs heavy {heavy_rmttf}"
+        );
+    }
+
+    #[test]
+    fn rmttf_is_roughly_stationary_under_constant_load() {
+        let mut vmc = mk_vmc(6, 4, RttfSource::Oracle);
+        let reports = run_eras(&mut vmc, 40, 30.0);
+        let tail: Vec<f64> = reports[10..].iter().map(|r| r.last_rmttf).collect();
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        let max_dev = tail
+            .iter()
+            .map(|v| (v - mean).abs())
+            .fold(0.0, f64::max);
+        assert!(
+            max_dev < mean * 0.5,
+            "RMTTF too unstable: mean {mean}, max dev {max_dev}"
+        );
+    }
+
+    #[test]
+    fn no_standby_means_no_proactive_action() {
+        let mut vmc = mk_vmc(4, 4, RttfSource::Oracle);
+        let reports = run_eras(&mut vmc, 60, 40.0);
+        let proactive: u32 = reports.iter().map(|r| r.proactive_rejuvenations).sum();
+        let reactive: u32 = reports.iter().map(|r| r.reactive_failures).sum();
+        assert_eq!(proactive, 0, "no spares: the VMC cannot act proactively");
+        assert!(reactive > 0, "without spares, failures become reactive");
+    }
+
+    #[test]
+    fn zero_load_region_is_immortal() {
+        let mut vmc = mk_vmc(4, 2, RttfSource::Oracle);
+        let reports = run_eras(&mut vmc, 10, 0.0);
+        for r in &reports {
+            assert_eq!(r.offered, 0);
+            assert_eq!(r.reactive_failures, 0);
+            assert_eq!(r.proactive_rejuvenations, 0);
+        }
+        // Unloaded VMs never fail: the clamped MTTF is huge.
+        assert!(reports.last().unwrap().last_rmttf > 1e6);
+    }
+
+    #[test]
+    fn era_reports_count_rejuvenation_capacity_dip() {
+        let mut vmc = mk_vmc(5, 4, RttfSource::Oracle);
+        let reports = run_eras(&mut vmc, 80, 45.0);
+        // At some point a rejuvenation leaves the region with fewer active
+        // VMs than the target (only 1 spare).
+        let min_active = reports.iter().map(|r| r.active_vms).min().unwrap();
+        assert!(min_active <= 4);
+        // But the pool recovers to target afterwards.
+        let last_active = reports.last().unwrap().active_vms;
+        assert!(last_active >= 3);
+    }
+
+    #[test]
+    fn mttf_estimate_adds_age_to_rttf() {
+        let vmc = mk_vmc(2, 1, RttfSource::Oracle);
+        let vm = &vmc.pool().vms()[0];
+        let now = SimTime::from_secs(100);
+        let est = vmc.vm_mttf_estimate(vm, now, 10.0);
+        let rttf = vm.true_rttf(10.0);
+        assert!((est - (rttf + 100.0)).abs() < 1e-9);
+    }
+}

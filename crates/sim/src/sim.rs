@@ -1,0 +1,300 @@
+//! The simulation driver.
+//!
+//! [`Simulator<W>`] owns a user-supplied *world* `W` (the mutable model
+//! state) and a queue of boxed event handlers. Handlers receive `&mut
+//! Simulator<W>` so they can both mutate the world and schedule follow-up
+//! events; this is the classic event-oriented style (each handler is one
+//! state transition at one instant).
+//!
+//! Execution is strictly deterministic: time never goes backwards, and
+//! simultaneous events run in scheduling order (see [`crate::event`]).
+
+use crate::event::{EventId, EventQueue};
+use crate::time::{Duration, SimTime};
+
+type Handler<W> = Box<dyn FnOnce(&mut Simulator<W>)>;
+
+/// Outcome of a bounded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the limit was reached.
+    Quiescent,
+    /// The time deadline was reached with events still pending.
+    DeadlineReached,
+    /// The step budget was exhausted with events still pending.
+    StepBudgetExhausted,
+}
+
+/// A discrete-event simulator owning the model state `W`.
+///
+/// ```
+/// use acm_sim::{Duration, SimTime, Simulator};
+/// let mut sim = Simulator::new(0u32);
+/// sim.schedule_at(SimTime::from_secs(5), |s| {
+///     s.world += 1;
+///     s.schedule_in(Duration::from_secs(2), |s| s.world += 10);
+/// });
+/// sim.run_to_completion(100);
+/// assert_eq!(sim.world, 11);
+/// assert_eq!(sim.now(), SimTime::from_secs(7));
+/// ```
+pub struct Simulator<W> {
+    now: SimTime,
+    queue: EventQueue<Handler<W>>,
+    /// The model state. Public so event handlers can reach it directly.
+    pub world: W,
+    executed: u64,
+}
+
+impl<W> Simulator<W> {
+    /// Creates a simulator at the epoch with the given world.
+    pub fn new(world: W) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            world,
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Live events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `handler` to run at the absolute instant `at`.
+    ///
+    /// Panics if `at` is in the past — the model must never rewind time.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut Simulator<W>) + 'static,
+    ) -> EventId {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        self.queue.schedule(at, Box::new(handler))
+    }
+
+    /// Schedules `handler` to run after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: Duration,
+        handler: impl FnOnce(&mut Simulator<W>) + 'static,
+    ) -> EventId {
+        let at = self.now + delay;
+        self.queue.schedule(at, Box::new(handler))
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Executes the single earliest pending event. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, handler)) => {
+                debug_assert!(at >= self.now);
+                self.now = at;
+                self.executed += 1;
+                handler(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains or simulated time would pass `deadline`.
+    ///
+    /// Events stamped exactly at `deadline` are executed; the first event
+    /// strictly after it is left pending and the clock is advanced to
+    /// `deadline` so a subsequent `run_until` resumes cleanly.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        loop {
+            match self.queue.peek_time() {
+                None => {
+                    self.now = self.now.max(deadline);
+                    return RunOutcome::Quiescent;
+                }
+                Some(at) if at > deadline => {
+                    self.now = deadline;
+                    return RunOutcome::DeadlineReached;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Runs until the queue drains, or at most `max_steps` events.
+    pub fn run_to_completion(&mut self, max_steps: u64) -> RunOutcome {
+        for _ in 0..max_steps {
+            if !self.step() {
+                return RunOutcome::Quiescent;
+            }
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Quiescent
+        } else {
+            RunOutcome::StepBudgetExhausted
+        }
+    }
+}
+
+impl<W> Simulator<W> {
+    /// Schedules a periodic event: `handler` runs every `period` starting at
+    /// `first`, until it returns `false`.
+    pub fn schedule_periodic(
+        &mut self,
+        first: SimTime,
+        period: Duration,
+        handler: impl FnMut(&mut Simulator<W>) -> bool + 'static,
+    ) {
+        assert!(!period.is_zero(), "periodic events need a positive period");
+        fn tick<W>(
+            sim: &mut Simulator<W>,
+            period: Duration,
+            mut handler: impl FnMut(&mut Simulator<W>) -> bool + 'static,
+        ) {
+            if handler(sim) {
+                let next = sim.now() + period;
+                sim.schedule_at(next, move |s| tick(s, period, handler));
+            }
+        }
+        self.schedule_at(first, move |s| tick(s, period, handler));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+        counter: u32,
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn events_fire_in_time_order_and_advance_clock() {
+        let mut sim = Simulator::new(World::default());
+        sim.schedule_at(t(5), |s| s.world.log.push((s.now().as_micros(), "b")));
+        sim.schedule_at(t(2), |s| s.world.log.push((s.now().as_micros(), "a")));
+        assert_eq!(sim.run_to_completion(100), RunOutcome::Quiescent);
+        assert_eq!(
+            sim.world.log,
+            vec![(t(2).as_micros(), "a"), (t(5).as_micros(), "b")]
+        );
+        assert_eq!(sim.now(), t(5));
+        assert_eq!(sim.executed(), 2);
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut sim = Simulator::new(World::default());
+        sim.schedule_at(t(1), |s| {
+            s.world.counter += 1;
+            s.schedule_in(Duration::from_secs(1), |s2| {
+                s2.world.counter += 10;
+            });
+        });
+        sim.run_to_completion(100);
+        assert_eq!(sim.world.counter, 11);
+        assert_eq!(sim.now(), t(2));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_resumes() {
+        let mut sim = Simulator::new(World::default());
+        for i in 1..=10 {
+            sim.schedule_at(t(i), move |s| s.world.counter += 1);
+        }
+        assert_eq!(sim.run_until(t(4)), RunOutcome::DeadlineReached);
+        assert_eq!(sim.world.counter, 4);
+        assert_eq!(sim.now(), t(4));
+        assert_eq!(sim.run_until(t(20)), RunOutcome::Quiescent);
+        assert_eq!(sim.world.counter, 10);
+        // Quiescent run advances the clock to the deadline.
+        assert_eq!(sim.now(), t(20));
+    }
+
+    #[test]
+    fn deadline_inclusive_of_events_at_deadline() {
+        let mut sim = Simulator::new(World::default());
+        sim.schedule_at(t(3), |s| s.world.counter += 1);
+        sim.run_until(t(3));
+        assert_eq!(sim.world.counter, 1);
+    }
+
+    #[test]
+    fn cancelled_events_do_not_run() {
+        let mut sim = Simulator::new(World::default());
+        let id = sim.schedule_at(t(1), |s| s.world.counter += 1);
+        sim.schedule_at(t(2), |s| s.world.counter += 100);
+        assert!(sim.cancel(id));
+        sim.run_to_completion(10);
+        assert_eq!(sim.world.counter, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut sim = Simulator::new(World::default());
+        sim.schedule_at(t(5), |s| {
+            s.schedule_at(t(1), |_| {});
+        });
+        sim.run_to_completion(10);
+    }
+
+    #[test]
+    fn step_budget_reports_exhaustion() {
+        let mut sim = Simulator::new(World::default());
+        // Self-perpetuating event chain.
+        fn again(s: &mut Simulator<World>) {
+            s.world.counter += 1;
+            s.schedule_in(Duration::from_secs(1), again);
+        }
+        sim.schedule_at(t(0), again);
+        assert_eq!(sim.run_to_completion(50), RunOutcome::StepBudgetExhausted);
+        assert_eq!(sim.world.counter, 50);
+    }
+
+    #[test]
+    fn periodic_runs_until_told_to_stop() {
+        let mut sim = Simulator::new(World::default());
+        sim.schedule_periodic(t(1), Duration::from_secs(2), |s| {
+            s.world.counter += 1;
+            s.world.counter < 5
+        });
+        sim.run_to_completion(100);
+        assert_eq!(sim.world.counter, 5);
+        // Ticks at t = 1, 3, 5, 7, 9.
+        assert_eq!(sim.now(), t(9));
+    }
+
+    #[test]
+    fn simultaneous_events_run_in_schedule_order() {
+        let mut sim = Simulator::new(World::default());
+        sim.schedule_at(t(1), |s| s.world.log.push((0, "first")));
+        sim.schedule_at(t(1), |s| s.world.log.push((0, "second")));
+        sim.schedule_at(t(1), |s| s.world.log.push((0, "third")));
+        sim.run_to_completion(10);
+        let names: Vec<_> = sim.world.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+}

@@ -1,0 +1,584 @@
+//! VM lifecycle and load processing.
+//!
+//! PCAM keeps some VMs hosting server replicas **ACTIVE** and others
+//! **STANDBY**; when a VM's predicted RTTF drops below the user threshold
+//! the controller sends the failing VM a REJUVENATE command and a standby an
+//! ACTIVATE command (paper Sec. III). [`Vm`] implements that lifecycle plus
+//! the two load-processing grains (per request / per era), feature
+//! extraction, and ground-truth RTTF.
+
+use crate::anomaly::{AnomalyConfig, AnomalyState};
+use crate::failure::{FailureCause, FailureSpec};
+use crate::features::{FeatureVec, FEATURE_COUNT};
+use crate::flavor::VmFlavor;
+use crate::service::{self, EraOutcome, RequestOutcome};
+use acm_sim::rng::SimRng;
+use acm_sim::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a VM, unique within a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+/// Lifecycle state of a VM replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Serving requests.
+    Active,
+    /// Healthy spare, not serving.
+    Standby,
+    /// Undergoing software rejuvenation until the given instant.
+    Rejuvenating {
+        /// Instant at which rejuvenation completes (VM becomes standby).
+        until: SimTime,
+    },
+    /// Reached its failure point at the given instant (reactive recovery —
+    /// the situation proactive rejuvenation is meant to avoid).
+    Failed {
+        /// Instant of failure.
+        at: SimTime,
+        /// Which predicate fired.
+        cause: FailureCause,
+    },
+}
+
+/// A simulated server-replica VM.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vm {
+    id: VmId,
+    flavor: VmFlavor,
+    anomaly_cfg: AnomalyConfig,
+    failure_spec: FailureSpec,
+    state: VmState,
+    anomaly: AnomalyState,
+    /// Instant of the last boot or rejuvenation completion.
+    last_refresh: SimTime,
+    /// Requests currently in service (per-request grain only).
+    inflight: u32,
+    /// Total completed requests over the VM's life (all epochs).
+    total_completed: u64,
+    /// Number of rejuvenations performed.
+    rejuvenation_count: u64,
+    /// Number of (reactive) failures suffered.
+    failure_count: u64,
+    /// Outcome of the most recent era (drives the response-time feature).
+    last_era: Option<EraOutcome>,
+    rng: SimRng,
+}
+
+impl Vm {
+    /// Creates a VM in the given initial state at time zero.
+    pub fn new(
+        id: VmId,
+        flavor: VmFlavor,
+        anomaly_cfg: AnomalyConfig,
+        failure_spec: FailureSpec,
+        state: VmState,
+        rng: SimRng,
+    ) -> Self {
+        flavor.validate().expect("invalid flavor");
+        anomaly_cfg.validate().expect("invalid anomaly config");
+        Vm {
+            id,
+            flavor,
+            anomaly_cfg,
+            failure_spec,
+            state,
+            anomaly: AnomalyState::fresh(),
+            last_refresh: SimTime::ZERO,
+            inflight: 0,
+            total_completed: 0,
+            rejuvenation_count: 0,
+            failure_count: 0,
+            last_era: None,
+            rng,
+        }
+    }
+
+    /// VM identifier.
+    pub fn id(&self) -> VmId {
+        self.id
+    }
+
+    /// The VM's flavor.
+    pub fn flavor(&self) -> &VmFlavor {
+        &self.flavor
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> VmState {
+        self.state
+    }
+
+    /// True when the VM is serving requests.
+    pub fn is_active(&self) -> bool {
+        matches!(self.state, VmState::Active)
+    }
+
+    /// True when the VM is a healthy spare.
+    pub fn is_standby(&self) -> bool {
+        matches!(self.state, VmState::Standby)
+    }
+
+    /// Accumulated anomaly state (read-only; the monitoring agent cannot see
+    /// this, but tests and the ground-truth oracle can).
+    pub fn anomaly(&self) -> &AnomalyState {
+        &self.anomaly
+    }
+
+    /// The failure specification in force.
+    pub fn failure_spec(&self) -> &FailureSpec {
+        &self.failure_spec
+    }
+
+    /// The anomaly-injection configuration in force.
+    pub fn anomaly_config(&self) -> &AnomalyConfig {
+        &self.anomaly_cfg
+    }
+
+    /// Seconds since the last refresh (boot or rejuvenation).
+    pub fn age(&self, now: SimTime) -> Duration {
+        now.saturating_since(self.last_refresh)
+    }
+
+    /// Lifetime number of rejuvenations.
+    pub fn rejuvenation_count(&self) -> u64 {
+        self.rejuvenation_count
+    }
+
+    /// Lifetime number of reactive failures.
+    pub fn failure_count(&self) -> u64 {
+        self.failure_count
+    }
+
+    /// Lifetime completed requests.
+    pub fn total_completed(&self) -> u64 {
+        self.total_completed
+    }
+
+    // ----- lifecycle transitions -------------------------------------------
+
+    /// STANDBY → ACTIVE. Panics on an illegal transition.
+    pub fn activate(&mut self, now: SimTime) {
+        assert!(
+            self.is_standby(),
+            "{}: ACTIVATE requires STANDBY, was {:?}",
+            self.id,
+            self.state
+        );
+        let _ = now;
+        self.state = VmState::Active;
+    }
+
+    /// ACTIVE → STANDBY (autoscaling deactivation, paper Sec. V). The VM
+    /// keeps its accumulated anomaly state — deactivation is not
+    /// rejuvenation; a later ACTIVATE resumes from the same damage.
+    pub fn deactivate(&mut self, now: SimTime) {
+        assert!(
+            self.is_active(),
+            "{}: DEACTIVATE requires ACTIVE, was {:?}",
+            self.id,
+            self.state
+        );
+        let _ = now;
+        self.state = VmState::Standby;
+        self.inflight = 0;
+    }
+
+    /// ACTIVE (or Failed) → REJUVENATING for `duration`. Clears all anomaly
+    /// state when rejuvenation completes (see [`Vm::poll_rejuvenation`]).
+    pub fn start_rejuvenation(&mut self, now: SimTime, duration: Duration) {
+        assert!(
+            matches!(self.state, VmState::Active | VmState::Failed { .. }),
+            "{}: REJUVENATE requires ACTIVE or FAILED, was {:?}",
+            self.id,
+            self.state
+        );
+        self.state = VmState::Rejuvenating { until: now + duration };
+        self.rejuvenation_count += 1;
+        self.inflight = 0;
+    }
+
+    /// Completes rejuvenation if its deadline has passed: REJUVENATING →
+    /// STANDBY with a fresh anomaly state. Returns `true` on transition.
+    pub fn poll_rejuvenation(&mut self, now: SimTime) -> bool {
+        if let VmState::Rejuvenating { until } = self.state {
+            if now >= until {
+                self.state = VmState::Standby;
+                self.anomaly.reset();
+                self.last_refresh = now;
+                self.last_era = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Marks the VM failed (reactive path).
+    fn fail(&mut self, at: SimTime, cause: FailureCause) {
+        self.state = VmState::Failed { at, cause };
+        self.failure_count += 1;
+        self.inflight = 0;
+    }
+
+    // ----- load processing --------------------------------------------------
+
+    /// Per-request grain, request start: injects anomalies, computes the
+    /// processor-sharing sojourn given the *current* in-flight population,
+    /// and admits the request (incrementing in-flight). The caller must
+    /// call [`Vm::end_request`] once the sojourn elapses — the event-driven
+    /// harness schedules that as a completion event. Returns `None`
+    /// (dropping the request) if the VM is not active or fails on arrival.
+    pub fn begin_request(&mut self, now: SimTime, lambda_hint: f64) -> Option<RequestOutcome> {
+        if !self.is_active() {
+            return None;
+        }
+        if let Some(cause) = self
+            .failure_spec
+            .check(&self.flavor, &self.anomaly_cfg, &self.anomaly, lambda_hint)
+        {
+            self.fail(now, cause);
+            return None;
+        }
+        let injected = self.anomaly.apply_request(&self.anomaly_cfg, &mut self.rng);
+        let mu = service::effective_service_rate(&self.flavor, &self.anomaly_cfg, &self.anomaly);
+        // Processor sharing: each in-flight request dilates service.
+        let share = (self.inflight as f64 + 1.0) / mu.max(1e-9);
+        self.inflight += 1;
+        self.total_completed += 1;
+        Some(RequestOutcome {
+            response_s: share,
+            anomaly_injected: injected,
+        })
+    }
+
+    /// Per-request grain, request completion: releases one in-flight slot.
+    /// Tolerates completions racing a rejuvenation (which clears the
+    /// counter).
+    pub fn end_request(&mut self) {
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+
+    /// Requests currently in service (per-request grain).
+    pub fn inflight(&self) -> u32 {
+        self.inflight
+    }
+
+    /// Per-request grain, fire-and-forget: [`Vm::begin_request`] with an
+    /// immediate [`Vm::end_request`]. Adequate when the caller does not
+    /// model concurrency (sojourns far shorter than inter-arrival gaps).
+    pub fn process_request(&mut self, now: SimTime, lambda_hint: f64) -> Option<RequestOutcome> {
+        let out = self.begin_request(now, lambda_hint);
+        if out.is_some() {
+            self.end_request();
+        }
+        out
+    }
+
+    /// Era grain: accounts for one control period of length `era` during
+    /// which requests arrived at `lambda` req/s (Poisson). Anomalies
+    /// accumulate, the failure point is checked, and the aggregate outcome
+    /// is returned. A VM that reaches its failure point mid-era fails at the
+    /// ground-truth crossing time and serves nothing afterwards.
+    pub fn process_era(&mut self, now: SimTime, era: Duration, lambda: f64) -> EraOutcome {
+        let era_s = era.as_secs_f64();
+        if !self.is_active() || lambda <= 0.0 {
+            let out = EraOutcome::idle(era_s);
+            self.last_era = Some(out);
+            return out;
+        }
+
+        let mu_start =
+            service::effective_service_rate(&self.flavor, &self.anomaly_cfg, &self.anomaly);
+
+        // Ground truth: does the failure point arrive inside this era?
+        let (rttf_s, cause) =
+            self.failure_spec
+                .true_rttf(&self.flavor, &self.anomaly_cfg, &self.anomaly, lambda);
+        let active_s = rttf_s.min(era_s);
+
+        let offered = self.rng.poisson(lambda * era_s);
+        let completed = if active_s >= era_s {
+            offered
+        } else {
+            ((offered as f64) * (active_s / era_s)).round() as u64
+        };
+
+        self.anomaly
+            .apply_requests(&self.anomaly_cfg, completed, &mut self.rng);
+        self.total_completed += completed;
+
+        let mu_end =
+            service::effective_service_rate(&self.flavor, &self.anomaly_cfg, &self.anomaly);
+        let mean_response_s = if completed == 0 {
+            0.0
+        } else {
+            service::era_response_time(mu_start, mu_end, lambda, era_s, &mut self.rng)
+        };
+
+        if active_s < era_s {
+            let at = now + Duration::from_secs_f64(active_s);
+            self.fail(at, cause.expect("finite RTTF implies a cause"));
+        }
+
+        let out = EraOutcome {
+            offered,
+            completed,
+            mean_response_s,
+            utilization: if mu_start > 0.0 { lambda / mu_start } else { f64::INFINITY },
+            active_s,
+        };
+        self.last_era = Some(out);
+        out
+    }
+
+    // ----- observation -------------------------------------------------------
+
+    /// The monitoring agent's view: the F2PM feature vector at `now`, given
+    /// the VM's current arrival rate.
+    pub fn features(&self, now: SimTime, lambda: f64) -> FeatureVec {
+        let f = &self.flavor;
+        let cfg = &self.anomaly_cfg;
+        let resident = service::resident_mb(f, cfg, &self.anomaly);
+        let swap = service::swap_used_mb(f, cfg, &self.anomaly);
+        let mu = service::effective_service_rate(f, cfg, &self.anomaly);
+        let threads = f.baseline_threads as f64 + self.anomaly.stuck_threads as f64;
+        let mut v = [0.0; FEATURE_COUNT];
+        v[0] = resident;
+        v[1] = swap;
+        v[2] = resident / (f.ram_mb + f.swap_mb);
+        v[3] = threads;
+        v[4] = threads / f.max_threads as f64;
+        v[5] = if mu > 0.0 { (lambda / mu).min(10.0) } else { 10.0 };
+        v[6] = self.last_era.map_or(0.0, |e| e.mean_response_s);
+        v[7] = lambda;
+        v[8] = self.age(now).as_secs_f64();
+        v[9] = self.anomaly.requests_since_refresh as f64;
+        v[10] = service::swap_slowdown(f, cfg, &self.anomaly);
+        v[11] = (f.ram_mb - resident).max(0.0);
+        FeatureVec::new(v)
+    }
+
+    /// Ground-truth remaining time to failure at arrival rate `lambda`
+    /// (seconds; infinite when the VM will never fail at this rate).
+    pub fn true_rttf(&self, lambda: f64) -> f64 {
+        self.failure_spec
+            .true_rttf(&self.flavor, &self.anomaly_cfg, &self.anomaly, lambda)
+            .0
+    }
+
+    /// Ground-truth *mean time to failure* estimate: remaining time plus the
+    /// age already survived. For the fluid anomaly model this equals the
+    /// fresh-VM MTTF at the current rate, which is what the region-level
+    /// RMTTF aggregates (paper Eq. 1 feeds on per-VM MTTF estimates).
+    pub fn true_mttf(&self, now: SimTime, lambda: f64) -> f64 {
+        let rttf = self.true_rttf(lambda);
+        if rttf.is_finite() {
+            rttf + self.age(now).as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_vm(state: VmState) -> Vm {
+        Vm::new(
+            VmId(1),
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            state,
+            SimRng::new(42),
+        )
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut vm = mk_vm(VmState::Standby);
+        assert!(vm.is_standby());
+        vm.activate(t(0));
+        assert!(vm.is_active());
+        vm.start_rejuvenation(t(100), Duration::from_secs(60));
+        assert!(matches!(vm.state(), VmState::Rejuvenating { .. }));
+        assert!(!vm.poll_rejuvenation(t(120)), "too early");
+        assert!(vm.poll_rejuvenation(t(160)));
+        assert!(vm.is_standby());
+        assert_eq!(vm.rejuvenation_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ACTIVATE requires STANDBY")]
+    fn activate_from_active_panics() {
+        let mut vm = mk_vm(VmState::Active);
+        vm.activate(t(0));
+    }
+
+    #[test]
+    fn rejuvenation_resets_anomalies_and_age() {
+        let mut vm = mk_vm(VmState::Active);
+        vm.process_era(t(0), Duration::from_secs(30), 10.0);
+        assert!(vm.anomaly().leaked_mb > 0.0);
+        vm.start_rejuvenation(t(30), Duration::from_secs(60));
+        vm.poll_rejuvenation(t(90));
+        assert_eq!(vm.anomaly().leaked_mb, 0.0);
+        assert_eq!(vm.age(t(90)), Duration::ZERO);
+        assert_eq!(vm.age(t(150)), Duration::from_secs(60));
+    }
+
+    #[test]
+    fn era_processing_accumulates_and_reports() {
+        let mut vm = mk_vm(VmState::Active);
+        let out = vm.process_era(t(0), Duration::from_secs(30), 10.0);
+        // ~300 requests offered.
+        assert!(out.offered > 200 && out.offered < 400, "offered {}", out.offered);
+        assert_eq!(out.offered, out.completed);
+        assert!(out.mean_response_s > 0.0 && out.mean_response_s < 0.1);
+        assert!(out.utilization > 0.1 && out.utilization < 0.4);
+        assert!(vm.anomaly().leaked_mb > 0.0);
+        assert!(vm.anomaly().stuck_threads > 0);
+    }
+
+    #[test]
+    fn idle_era_for_standby_vm() {
+        let mut vm = mk_vm(VmState::Standby);
+        let out = vm.process_era(t(0), Duration::from_secs(30), 10.0);
+        assert_eq!(out.offered, 0);
+        assert_eq!(vm.anomaly().requests_since_refresh, 0);
+    }
+
+    #[test]
+    fn vm_fails_mid_era_when_rttf_short() {
+        let mut vm = mk_vm(VmState::Active);
+        // Run eras until the VM fails (no rejuvenation).
+        let era = Duration::from_secs(30);
+        let mut now = t(0);
+        let mut failed_at = None;
+        for _ in 0..200 {
+            vm.process_era(now, era, 15.0);
+            if let VmState::Failed { at, .. } = vm.state() {
+                failed_at = Some(at);
+                break;
+            }
+            now += era;
+        }
+        let at = failed_at.expect("VM should eventually fail under sustained load");
+        // MTTF at λ=15 for m3.medium is in the 200–600 s band.
+        let secs = at.as_secs_f64();
+        assert!(secs > 100.0 && secs < 1000.0, "failed at {secs}");
+        assert_eq!(vm.failure_count(), 1);
+        // A failed VM serves nothing.
+        let out = vm.process_era(now, era, 15.0);
+        assert_eq!(out.offered, 0);
+    }
+
+    #[test]
+    fn failed_vm_can_rejuvenate() {
+        let mut vm = mk_vm(VmState::Active);
+        let era = Duration::from_secs(30);
+        let mut now = t(0);
+        while !matches!(vm.state(), VmState::Failed { .. }) {
+            vm.process_era(now, era, 20.0);
+            now += era;
+        }
+        vm.start_rejuvenation(now, Duration::from_secs(60));
+        assert!(vm.poll_rejuvenation(now + Duration::from_secs(60)));
+        assert!(vm.is_standby());
+    }
+
+    #[test]
+    fn features_reflect_state() {
+        let mut vm = mk_vm(VmState::Active);
+        let f0 = vm.features(t(0), 10.0);
+        vm.process_era(t(0), Duration::from_secs(30), 10.0);
+        let f1 = vm.features(t(30), 10.0);
+        assert!(f1.get("resident_mb").unwrap() > f0.get("resident_mb").unwrap());
+        assert!(f1.get("threads").unwrap() >= f0.get("threads").unwrap());
+        assert!(f1.get("age_s").unwrap() == 30.0);
+        assert!(f1.get("requests_total").unwrap() > 0.0);
+        assert!(f1.get("response_time_s").unwrap() > 0.0);
+        assert!(f1.is_finite());
+    }
+
+    #[test]
+    fn true_rttf_shrinks_over_eras() {
+        let mut vm = mk_vm(VmState::Active);
+        let r0 = vm.true_rttf(10.0);
+        vm.process_era(t(0), Duration::from_secs(30), 10.0);
+        let r1 = vm.true_rttf(10.0);
+        assert!(r1 < r0);
+        // The drop should be roughly the era length (fluid model).
+        let drop = r0 - r1;
+        assert!(drop > 10.0 && drop < 60.0, "drop {drop}");
+    }
+
+    #[test]
+    fn true_mttf_is_roughly_stable_during_life() {
+        let mut vm = mk_vm(VmState::Active);
+        let mut now = t(0);
+        let era = Duration::from_secs(30);
+        let m0 = vm.true_mttf(now, 10.0);
+        for _ in 0..5 {
+            vm.process_era(now, era, 10.0);
+            now += era;
+        }
+        let m1 = vm.true_mttf(now, 10.0);
+        let rel = (m1 - m0).abs() / m0;
+        assert!(rel < 0.15, "MTTF drifted {m0} -> {m1}");
+    }
+
+    #[test]
+    fn per_request_grain_serves_and_fails() {
+        let mut vm = mk_vm(VmState::Active);
+        let out = vm.process_request(t(0), 10.0).expect("active VM serves");
+        assert!(out.response_s > 0.0);
+        assert_eq!(vm.inflight(), 0, "fire-and-forget releases the slot");
+        // Standby VM drops requests.
+        let mut standby = mk_vm(VmState::Standby);
+        assert!(standby.process_request(t(0), 10.0).is_none());
+    }
+
+    #[test]
+    fn concurrency_dilates_processor_sharing_sojourns() {
+        let mut vm = mk_vm(VmState::Active);
+        let first = vm.begin_request(t(0), 10.0).unwrap();
+        assert_eq!(vm.inflight(), 1);
+        let second = vm.begin_request(t(0), 10.0).unwrap();
+        assert_eq!(vm.inflight(), 2);
+        // The second request shares the processor with the first.
+        assert!(
+            second.response_s > 1.5 * first.response_s,
+            "{} !> 1.5x {}",
+            second.response_s,
+            first.response_s
+        );
+        vm.end_request();
+        vm.end_request();
+        assert_eq!(vm.inflight(), 0);
+        // Extra end_request calls are tolerated (rejuvenation races).
+        vm.end_request();
+        assert_eq!(vm.inflight(), 0);
+    }
+
+    #[test]
+    fn rejuvenation_clears_inflight() {
+        let mut vm = mk_vm(VmState::Active);
+        vm.begin_request(t(0), 10.0).unwrap();
+        vm.begin_request(t(0), 10.0).unwrap();
+        vm.start_rejuvenation(t(1), Duration::from_secs(60));
+        assert_eq!(vm.inflight(), 0);
+    }
+}

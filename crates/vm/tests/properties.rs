@@ -1,0 +1,147 @@
+//! Property-based tests for the VM substrate.
+
+use acm_sim::rng::SimRng;
+use acm_sim::time::{Duration, SimTime};
+use acm_vm::{AnomalyConfig, AnomalyState, FailureSpec, Vm, VmFlavor, VmId, VmState};
+use proptest::prelude::*;
+
+fn flavor_strategy() -> impl Strategy<Value = VmFlavor> {
+    (0usize..3).prop_map(|i| match i {
+        0 => VmFlavor::m3_medium(),
+        1 => VmFlavor::m3_small(),
+        _ => VmFlavor::private_munich(),
+    })
+}
+
+proptest! {
+    #[test]
+    fn anomaly_accumulation_is_monotone_in_requests(
+        seed in 0u64..1_000,
+        n1 in 0u64..5_000,
+        extra in 0u64..5_000,
+    ) {
+        let cfg = AnomalyConfig::default();
+        let mut st = AnomalyState::fresh();
+        let mut rng = SimRng::new(seed);
+        st.apply_requests(&cfg, n1, &mut rng);
+        let leaked_before = st.leaked_mb;
+        let threads_before = st.stuck_threads;
+        st.apply_requests(&cfg, extra, &mut rng);
+        prop_assert!(st.leaked_mb >= leaked_before);
+        prop_assert!(st.stuck_threads >= threads_before);
+        prop_assert_eq!(st.requests_since_refresh, n1 + extra);
+    }
+
+    #[test]
+    fn rttf_is_antitone_in_load(
+        flavor in flavor_strategy(),
+        lambda in 0.5f64..20.0,
+        extra in 0.1f64..20.0,
+    ) {
+        let spec = FailureSpec::default();
+        let cfg = AnomalyConfig::default();
+        let fresh = AnomalyState::fresh();
+        let (t_low, _) = spec.true_rttf(&flavor, &cfg, &fresh, lambda);
+        let (t_high, _) = spec.true_rttf(&flavor, &cfg, &fresh, lambda + extra);
+        // Higher load can never extend the remaining lifetime.
+        prop_assert!(t_high <= t_low * 1.000001, "{t_high} > {t_low}");
+    }
+
+    #[test]
+    fn zero_rttf_iff_failure_predicate_holds(
+        flavor in flavor_strategy(),
+        leaked in 0.0f64..8_000.0,
+        threads in 0u32..1_200,
+        lambda in 1.0f64..30.0,
+    ) {
+        let spec = FailureSpec::default();
+        let cfg = AnomalyConfig::default();
+        let st = AnomalyState {
+            leaked_mb: leaked,
+            stuck_threads: threads,
+            leak_events: 0,
+            requests_since_refresh: 0,
+        };
+        let (rttf, cause) = spec.true_rttf(&flavor, &cfg, &st, lambda);
+        let failed_now = spec.check(&flavor, &cfg, &st, lambda);
+        prop_assert_eq!(rttf == 0.0, failed_now.is_some());
+        if rttf == 0.0 {
+            prop_assert_eq!(cause, failed_now);
+        }
+    }
+
+    #[test]
+    fn features_are_always_finite(
+        flavor in flavor_strategy(),
+        seed in 0u64..500,
+        eras in 0usize..12,
+        lambda in 0.0f64..40.0,
+    ) {
+        let mut vm = Vm::new(
+            VmId(0),
+            flavor,
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            VmState::Active,
+            SimRng::new(seed),
+        );
+        let era = Duration::from_secs(30);
+        let mut now = SimTime::ZERO;
+        for _ in 0..eras {
+            vm.process_era(now, era, lambda);
+            now += era;
+        }
+        let f = vm.features(now, lambda);
+        prop_assert!(f.is_finite(), "{f:?}");
+    }
+
+    #[test]
+    fn era_outcome_counts_are_consistent(
+        seed in 0u64..500,
+        lambda in 0.1f64..30.0,
+    ) {
+        let mut vm = Vm::new(
+            VmId(0),
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            VmState::Active,
+            SimRng::new(seed),
+        );
+        let out = vm.process_era(SimTime::ZERO, Duration::from_secs(30), lambda);
+        prop_assert!(out.completed <= out.offered);
+        prop_assert!(out.active_s >= 0.0 && out.active_s <= 30.0);
+        prop_assert!(out.mean_response_s >= 0.0 && out.mean_response_s <= 30.0 + 1e-9);
+        prop_assert_eq!(vm.total_completed(), out.completed);
+    }
+
+    #[test]
+    fn rejuvenation_is_always_a_full_reset(
+        flavor in flavor_strategy(),
+        seed in 0u64..500,
+        eras in 1usize..10,
+    ) {
+        let mut vm = Vm::new(
+            VmId(0),
+            flavor,
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            VmState::Active,
+            SimRng::new(seed),
+        );
+        let era = Duration::from_secs(30);
+        let mut now = SimTime::ZERO;
+        for _ in 0..eras {
+            vm.process_era(now, era, 15.0);
+            now += era;
+            if !vm.is_active() {
+                break;
+            }
+        }
+        vm.start_rejuvenation(now, Duration::from_secs(60));
+        now += Duration::from_secs(60);
+        prop_assert!(vm.poll_rejuvenation(now));
+        prop_assert_eq!(vm.anomaly(), &AnomalyState::fresh());
+        prop_assert!(vm.is_standby());
+    }
+}

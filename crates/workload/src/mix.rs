@@ -1,0 +1,161 @@
+//! TPC-W interaction mixes.
+//!
+//! TPC-W groups its fourteen web interactions into *browse* and *order*
+//! categories and defines three canonical mixes by their browse/order
+//! ratio: **browsing** (95/5), **shopping** (80/20) and **ordering**
+//! (50/50). We model five representative interaction classes with relative
+//! service demands (order-side interactions hit the database harder) and
+//! expose the mixes as sampling distributions.
+
+use acm_sim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// A representative TPC-W interaction class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InteractionClass {
+    /// Home page / product detail (cheap, cacheable).
+    Browse,
+    /// Full-text and subject search (moderate).
+    Search,
+    /// Shopping-cart manipulation (moderate, write).
+    Cart,
+    /// Buy request + confirm (expensive, transactional).
+    Buy,
+    /// Order inquiry / display (moderate read).
+    OrderStatus,
+}
+
+impl InteractionClass {
+    /// All classes, in canonical order.
+    pub const ALL: [InteractionClass; 5] = [
+        InteractionClass::Browse,
+        InteractionClass::Search,
+        InteractionClass::Cart,
+        InteractionClass::Buy,
+        InteractionClass::OrderStatus,
+    ];
+
+    /// Service-demand multiplier relative to the VM's base request demand.
+    pub fn demand_multiplier(self) -> f64 {
+        match self {
+            InteractionClass::Browse => 0.6,
+            InteractionClass::Search => 1.2,
+            InteractionClass::Cart => 1.0,
+            InteractionClass::Buy => 2.2,
+            InteractionClass::OrderStatus => 1.1,
+        }
+    }
+
+    /// True for the order-side categories of the TPC-W spec.
+    pub fn is_order_side(self) -> bool {
+        matches!(
+            self,
+            InteractionClass::Cart | InteractionClass::Buy | InteractionClass::OrderStatus
+        )
+    }
+}
+
+/// One of the three canonical TPC-W mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum TpcwMix {
+    /// 95 % browse / 5 % order.
+    Browsing,
+    /// 80 % browse / 20 % order (the default reporting mix).
+    #[default]
+    Shopping,
+    /// 50 % browse / 50 % order.
+    Ordering,
+}
+
+impl TpcwMix {
+    /// Class probabilities, aligned with [`InteractionClass::ALL`].
+    pub fn class_weights(self) -> [f64; 5] {
+        match self {
+            // browse, search, cart, buy, order-status
+            TpcwMix::Browsing => [0.70, 0.25, 0.025, 0.010, 0.015],
+            TpcwMix::Shopping => [0.55, 0.25, 0.10, 0.05, 0.05],
+            TpcwMix::Ordering => [0.30, 0.20, 0.20, 0.20, 0.10],
+        }
+    }
+
+    /// Fraction of order-side interactions (sanity metric: ~0.05 / ~0.20 /
+    /// ~0.50 for the three mixes).
+    pub fn order_fraction(self) -> f64 {
+        InteractionClass::ALL
+            .iter()
+            .zip(self.class_weights())
+            .filter(|(c, _)| c.is_order_side())
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// Mean service-demand multiplier of the mix (weights the per-request
+    /// demand the VM model sees).
+    pub fn mean_demand_multiplier(self) -> f64 {
+        InteractionClass::ALL
+            .iter()
+            .zip(self.class_weights())
+            .map(|(c, w)| c.demand_multiplier() * w)
+            .sum()
+    }
+
+    /// Samples an interaction class.
+    pub fn sample(self, rng: &mut SimRng) -> InteractionClass {
+        let idx = rng.weighted_index(&self.class_weights());
+        InteractionClass::ALL[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_distributions() {
+        for mix in [TpcwMix::Browsing, TpcwMix::Shopping, TpcwMix::Ordering] {
+            let total: f64 = mix.class_weights().iter().sum();
+            assert!((total - 1.0).abs() < 1e-12, "{mix:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn order_fractions_match_the_spec_ratios() {
+        assert!((TpcwMix::Browsing.order_fraction() - 0.05).abs() < 1e-12);
+        assert!((TpcwMix::Shopping.order_fraction() - 0.20).abs() < 1e-12);
+        assert!((TpcwMix::Ordering.order_fraction() - 0.50).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_mix_is_heavier_than_browsing() {
+        assert!(
+            TpcwMix::Ordering.mean_demand_multiplier()
+                > TpcwMix::Browsing.mean_demand_multiplier()
+        );
+    }
+
+    #[test]
+    fn sampling_tracks_weights() {
+        let mut rng = SimRng::new(1);
+        let mix = TpcwMix::Shopping;
+        let n = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            let c = mix.sample(&mut rng);
+            let idx = InteractionClass::ALL.iter().position(|x| *x == c).unwrap();
+            counts[idx] += 1;
+        }
+        for (count, weight) in counts.iter().zip(mix.class_weights()) {
+            let freq = *count as f64 / n as f64;
+            assert!((freq - weight).abs() < 0.01, "freq {freq} vs {weight}");
+        }
+    }
+
+    #[test]
+    fn buy_is_the_most_expensive_interaction() {
+        let max = InteractionClass::ALL
+            .iter()
+            .map(|c| c.demand_multiplier())
+            .fold(0.0, f64::max);
+        assert_eq!(max, InteractionClass::Buy.demand_multiplier());
+    }
+}

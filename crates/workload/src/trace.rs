@@ -1,0 +1,254 @@
+//! Open-loop arrival traces.
+//!
+//! The closed-loop generator ([`crate::generator`]) is the paper-faithful
+//! client model; the benches additionally need *open-loop* traffic — fixed
+//! request-per-second profiles that do not react to the system — to stress
+//! specific rates reproducibly. [`RateProfile`] describes λ(t);
+//! [`ArrivalTrace`] materialises Poisson arrivals from it.
+
+use acm_sim::rng::SimRng;
+use acm_sim::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic request-rate profile λ(t), req/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RateProfile {
+    /// Constant rate.
+    Constant(f64),
+    /// Piecewise-constant steps: `(start_instant, rate)` pairs, sorted by
+    /// instant; rate 0 before the first step.
+    Steps(Vec<(SimTime, f64)>),
+    /// Sinusoidal diurnal pattern: `base + amplitude · sin(2πt / period)`,
+    /// clamped at zero.
+    Diurnal {
+        /// Mean rate.
+        base: f64,
+        /// Swing amplitude.
+        amplitude: f64,
+        /// Oscillation period.
+        period: Duration,
+    },
+}
+
+impl RateProfile {
+    /// λ at the given instant (always ≥ 0).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self {
+            RateProfile::Constant(r) => r.max(0.0),
+            RateProfile::Steps(steps) => steps
+                .iter()
+                .take_while(|(at, _)| *at <= t)
+                .last()
+                .map_or(0.0, |(_, r)| r.max(0.0)),
+            RateProfile::Diurnal { base, amplitude, period } => {
+                let phase = t.as_secs_f64() / period.as_secs_f64();
+                (base + amplitude * (2.0 * std::f64::consts::PI * phase).sin()).max(0.0)
+            }
+        }
+    }
+
+    /// Expected number of arrivals in `[from, from + window)` (trapezoidal
+    /// integration at 1-second resolution; exact for constant/step rates on
+    /// aligned windows).
+    pub fn expected_arrivals(&self, from: SimTime, window: Duration) -> f64 {
+        let secs = window.as_secs_f64();
+        let steps = (secs.ceil() as usize).max(1);
+        let dt = secs / steps as f64;
+        let mut acc = 0.0;
+        for k in 0..steps {
+            let t0 = from + Duration::from_secs_f64(k as f64 * dt);
+            let t1 = from + Duration::from_secs_f64((k as f64 + 1.0) * dt);
+            acc += 0.5 * (self.rate_at(t0) + self.rate_at(t1)) * dt;
+        }
+        acc
+    }
+
+    /// Validates the profile.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            RateProfile::Constant(r) => {
+                if !r.is_finite() || *r < 0.0 {
+                    return Err("constant rate must be finite and non-negative".into());
+                }
+            }
+            RateProfile::Steps(steps) => {
+                if steps.windows(2).any(|w| w[0].0 > w[1].0) {
+                    return Err("steps must be sorted by instant".into());
+                }
+                if steps.iter().any(|(_, r)| !r.is_finite() || *r < 0.0) {
+                    return Err("step rates must be finite and non-negative".into());
+                }
+            }
+            RateProfile::Diurnal { base, amplitude, period } => {
+                if !base.is_finite() || *base < 0.0 || !amplitude.is_finite() || *amplitude < 0.0 {
+                    return Err("diurnal parameters must be non-negative".into());
+                }
+                if period.is_zero() {
+                    return Err("diurnal period must be positive".into());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A materialised sequence of arrival instants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    arrivals: Vec<SimTime>,
+}
+
+impl ArrivalTrace {
+    /// Generates Poisson arrivals following `profile` over `[0, horizon)`
+    /// by thinning against the profile's peak rate.
+    pub fn generate(
+        profile: &RateProfile,
+        horizon: Duration,
+        rng: &mut SimRng,
+    ) -> Self {
+        profile.validate().expect("invalid rate profile");
+        // Peak rate for the thinning envelope.
+        let peak = match profile {
+            RateProfile::Constant(r) => *r,
+            RateProfile::Steps(steps) => steps.iter().map(|(_, r)| *r).fold(0.0, f64::max),
+            RateProfile::Diurnal { base, amplitude, .. } => base + amplitude,
+        };
+        let mut arrivals = Vec::new();
+        if peak <= 0.0 {
+            return ArrivalTrace { arrivals };
+        }
+        let mut t = 0.0;
+        let horizon_s = horizon.as_secs_f64();
+        loop {
+            t += rng.exponential(1.0 / peak);
+            if t >= horizon_s {
+                break;
+            }
+            let at = SimTime::from_secs_f64(t);
+            // Thin: accept with probability λ(t)/peak.
+            if rng.bernoulli(profile.rate_at(at) / peak) {
+                arrivals.push(at);
+            }
+        }
+        ArrivalTrace { arrivals }
+    }
+
+    /// The arrival instants, ascending.
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// True when no arrivals were generated.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Arrivals inside `[from, to)`.
+    pub fn count_between(&self, from: SimTime, to: SimTime) -> usize {
+        let lo = self.arrivals.partition_point(|t| *t < from);
+        let hi = self.arrivals.partition_point(|t| *t < to);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn constant_profile_rate_and_expectation() {
+        let p = RateProfile::Constant(12.0);
+        assert_eq!(p.rate_at(t(0)), 12.0);
+        assert_eq!(p.rate_at(t(999)), 12.0);
+        let e = p.expected_arrivals(t(0), Duration::from_secs(10));
+        assert!((e - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_profile_switches() {
+        let p = RateProfile::Steps(vec![(t(0), 5.0), (t(100), 20.0)]);
+        assert_eq!(p.rate_at(t(50)), 5.0);
+        assert_eq!(p.rate_at(t(100)), 20.0);
+        assert_eq!(p.rate_at(t(150)), 20.0);
+        // Rate before the first step is zero.
+        let q = RateProfile::Steps(vec![(t(10), 5.0)]);
+        assert_eq!(q.rate_at(t(5)), 0.0);
+    }
+
+    #[test]
+    fn diurnal_profile_oscillates_and_clamps() {
+        let p = RateProfile::Diurnal {
+            base: 10.0,
+            amplitude: 15.0, // dips below zero -> clamped
+            period: Duration::from_secs(100),
+        };
+        assert!((p.rate_at(t(25)) - 25.0).abs() < 1e-9); // peak at quarter period
+        assert_eq!(p.rate_at(t(75)), 0.0); // clamped trough
+    }
+
+    #[test]
+    fn trace_count_matches_expectation() {
+        let p = RateProfile::Constant(50.0);
+        let mut rng = SimRng::new(1);
+        let trace = ArrivalTrace::generate(&p, Duration::from_secs(200), &mut rng);
+        let expect = 50.0 * 200.0;
+        let got = trace.len() as f64;
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt(),
+            "{got} arrivals vs expected {expect}"
+        );
+        // Sorted ascending.
+        assert!(trace.arrivals().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn thinning_respects_step_rates() {
+        let p = RateProfile::Steps(vec![(t(0), 10.0), (t(100), 40.0)]);
+        let mut rng = SimRng::new(2);
+        let trace = ArrivalTrace::generate(&p, Duration::from_secs(200), &mut rng);
+        let low = trace.count_between(t(0), t(100)) as f64;
+        let high = trace.count_between(t(100), t(200)) as f64;
+        assert!((low - 1000.0).abs() < 150.0, "low period {low}");
+        assert!((high - 4000.0).abs() < 300.0, "high period {high}");
+    }
+
+    #[test]
+    fn zero_rate_trace_is_empty() {
+        let p = RateProfile::Constant(0.0);
+        let mut rng = SimRng::new(3);
+        let trace = ArrivalTrace::generate(&p, Duration::from_secs(100), &mut rng);
+        assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let p = RateProfile::Constant(5.0);
+        let a = ArrivalTrace::generate(&p, Duration::from_secs(50), &mut SimRng::new(4));
+        let b = ArrivalTrace::generate(&p, Duration::from_secs(50), &mut SimRng::new(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_bad_profiles() {
+        assert!(RateProfile::Constant(-1.0).validate().is_err());
+        assert!(RateProfile::Steps(vec![(t(10), 1.0), (t(5), 1.0)])
+            .validate()
+            .is_err());
+        assert!(RateProfile::Diurnal {
+            base: 1.0,
+            amplitude: 1.0,
+            period: Duration::ZERO
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Autoscaling under a diurnal workload: the client populations of both
+//! regions follow compressed day/night cycles, and the ADDVMS /
+//! deactivation logic of Sec. V tracks the sun while the policy keeps the
+//! RMTTFs level.
+//!
+//! ```text
+//! cargo run --release --example diurnal_autoscaling
+//! ```
+
+use acm::core::autoscale::AutoscaleConfig;
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::cost::price_run;
+use acm::core::framework::run_experiment;
+use acm::core::policy::PolicyKind;
+use acm::sim::Duration;
+use acm::workload::ClientSchedule;
+
+fn main() {
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 160; // 80 simulated minutes = 2 compressed "days"
+    let day = Duration::from_secs(2400); // one compressed day
+
+    // Both regions follow the same compressed day/night cycle (a global
+    // e-commerce peak), with Ireland carrying the larger population.
+    cfg.regions[0].clients = ClientSchedule::Diurnal {
+        base: 280,
+        amplitude: 200,
+        period: day,
+    };
+    cfg.regions[1].clients = ClientSchedule::Diurnal {
+        base: 160,
+        amplitude: 120,
+        period: day,
+    };
+    cfg.autoscale = AutoscaleConfig {
+        enabled: true,
+        response_threshold_s: 0.3,
+        rmttf_low_s: 350.0,
+        rmttf_high_s: 1500.0,
+        cooldown_eras: 3,
+        max_vms: 16,
+    };
+
+    let tel = run_experiment(&cfg);
+    let prices: Vec<f64> = cfg.regions.iter().map(|r| r.region.vm_hour_usd).collect();
+    let cost = price_run(&tel, &prices, cfg.era);
+
+    println!("two compressed days, diurnal client populations, autoscaling on\n");
+    println!(
+        "{:>6} {:>10} {:>11} {:>11} {:>10}",
+        "era", "lambda", "active_r1", "active_r3", "resp(ms)"
+    );
+    for e in (0..tel.eras()).step_by(8) {
+        println!(
+            "{:>6} {:>10.1} {:>11} {:>11} {:>10.1}",
+            e + 1,
+            tel.global_lambda().points()[e].value,
+            tel.active_vms(0).points()[e].value,
+            tel.active_vms(1).points()[e].value,
+            tel.global_response().points()[e].value * 1000.0,
+        );
+    }
+
+    // Capacity must track demand: the VM census at global peak should
+    // exceed the census at the global trough.
+    let lambda_vals: Vec<f64> = tel.global_lambda().values().collect();
+    let peak_era = (40..tel.eras())
+        .max_by(|&a, &b| lambda_vals[a].partial_cmp(&lambda_vals[b]).unwrap())
+        .unwrap();
+    let trough_era = (40..tel.eras())
+        .min_by(|&a, &b| lambda_vals[a].partial_cmp(&lambda_vals[b]).unwrap())
+        .unwrap();
+    let census = |e: usize| {
+        tel.active_vms(0).points()[e].value + tel.active_vms(1).points()[e].value
+    };
+    println!();
+    println!(
+        "peak   (era {:>3}): λ = {:>5.1} req/s, {} active VMs",
+        peak_era + 1,
+        lambda_vals[peak_era],
+        census(peak_era)
+    );
+    println!(
+        "trough (era {:>3}): λ = {:>5.1} req/s, {} active VMs",
+        trough_era + 1,
+        lambda_vals[trough_era],
+        census(trough_era)
+    );
+    println!("tail response : {:.0} ms", tel.tail_response(30) * 1000.0);
+    println!(
+        "run cost      : ${:.3} total (${:.2} per M requests)",
+        cost.total_usd, cost.usd_per_mreq
+    );
+
+    assert!(
+        census(peak_era) > census(trough_era),
+        "capacity should follow the sun"
+    );
+    assert!(tel.tail_response(30) < 1.0, "SLA must hold through the cycles");
+}

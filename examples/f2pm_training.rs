@@ -1,0 +1,51 @@
+//! The full F2PM pipeline, standalone: collect a feature database from
+//! instrumented VM runs, Lasso-select features, train the whole model menu
+//! and print the ranking — the process behind the paper's choice of
+//! REP-Tree as the deployed MTTF predictor.
+//!
+//! ```text
+//! cargo run --release --example f2pm_training
+//! ```
+
+use acm::ml::toolchain::F2pmToolchain;
+use acm::pcam::training::{collect_database, CollectionConfig};
+use acm::sim::SimRng;
+use acm::vm::{AnomalyConfig, FailureSpec, VmFlavor};
+
+fn main() {
+    let mut rng = SimRng::new(2016);
+
+    for flavor in [
+        VmFlavor::m3_medium(),
+        VmFlavor::m3_small(),
+        VmFlavor::private_munich(),
+    ] {
+        println!("=== {} ===", flavor.name);
+        let db = collect_database(
+            &flavor,
+            &AnomalyConfig::default(),
+            &FailureSpec::default(),
+            &CollectionConfig::default(),
+            &mut rng,
+        );
+        println!(
+            "feature database: {} samples x {} features",
+            db.len(),
+            db.width()
+        );
+
+        let (predictor, report) = F2pmToolchain::default().run(&db, &mut rng);
+        println!(
+            "lasso-selected features ({}): {}",
+            report.selected_names.len(),
+            report.selected_names.join(", ")
+        );
+        println!("model ranking (holdout):");
+        print!("{}", report.to_table());
+        println!(
+            "deployed predictor: {} over {} features\n",
+            predictor.kind(),
+            predictor.selected_features().len()
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Embedding ACM in a threaded host application: the control loop runs on
+//! a worker thread, streaming one update per era over a crossbeam channel,
+//! while the main thread renders a live dashboard and a `parking_lot`-
+//! protected snapshot lets any other thread poll the latest state — the
+//! shape a real operations console around the framework would take.
+//!
+//! ```text
+//! cargo run --release --example live_dashboard
+//! ```
+
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::control_loop::ControlLoop;
+use acm::core::framework::build_vmcs;
+use acm::core::policy::PolicyKind;
+use acm::sim::SimRng;
+use crossbeam::channel;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::thread;
+
+/// One era's worth of dashboard state.
+#[derive(Debug, Clone)]
+struct EraUpdate {
+    era: usize,
+    rmttf: Vec<f64>,
+    fractions: Vec<f64>,
+    response_ms: f64,
+    lambda: f64,
+}
+
+fn main() {
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 60;
+
+    let (tx, rx) = channel::bounded::<EraUpdate>(16);
+    let latest: Arc<RwLock<Option<EraUpdate>>> = Arc::new(RwLock::new(None));
+    let latest_writer = Arc::clone(&latest);
+
+    // Worker: the ACM control loop, one era per send.
+    let cfg_worker = cfg.clone();
+    let worker = thread::spawn(move || {
+        let mut rng = SimRng::new(cfg_worker.seed);
+        let vmcs = build_vmcs(&cfg_worker, &mut rng);
+        let mut cl = ControlLoop::new(&cfg_worker, vmcs, rng);
+        for era in 0..cfg_worker.eras {
+            cl.step_era();
+            let tel = cl.telemetry();
+            let n = tel.region_names().len();
+            let update = EraUpdate {
+                era: era + 1,
+                rmttf: (0..n).map(|i| tel.rmttf(i).last().unwrap_or(0.0)).collect(),
+                fractions: (0..n).map(|i| tel.fraction(i).last().unwrap_or(0.0)).collect(),
+                response_ms: tel.global_response().last().unwrap_or(0.0) * 1000.0,
+                lambda: tel.global_lambda().last().unwrap_or(0.0),
+            };
+            *latest_writer.write() = Some(update.clone());
+            if tx.send(update).is_err() {
+                return cl.into_telemetry(); // dashboard hung up
+            }
+        }
+        cl.into_telemetry()
+    });
+
+    println!("live ACM dashboard — {} ({} eras)\n", cfg.name, cfg.eras);
+    println!(
+        "{:>5} {:>10} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "era", "λ(req/s)", "rmttf_r1(s)", "rmttf_r3(s)", "f_r1", "f_r3", "resp(ms)"
+    );
+    let mut received = 0;
+    for update in rx.iter() {
+        received += 1;
+        if update.era % 5 == 0 {
+            println!(
+                "{:>5} {:>10.1} {:>12.0} {:>12.0} {:>8.3} {:>8.3} {:>10.1}",
+                update.era,
+                update.lambda,
+                update.rmttf[0],
+                update.rmttf[1],
+                update.fractions[0],
+                update.fractions[1],
+                update.response_ms,
+            );
+        }
+    }
+
+    let telemetry = worker.join().expect("worker thread panicked");
+
+    // Any thread can read the last snapshot without the channel.
+    let snapshot = latest.read().clone().expect("at least one era ran");
+    println!("\nlast snapshot via shared lock: era {}, resp {:.1} ms", snapshot.era, snapshot.response_ms);
+    println!("eras streamed               : {received}");
+    println!("RMTTF spread (final third)  : {:.3}", telemetry.rmttf_spread(20));
+
+    assert_eq!(received, cfg.eras);
+    assert_eq!(snapshot.era, cfg.eras);
+    assert!(telemetry.rmttf_spread(20) < 1.25, "Policy 2 converges");
+}

@@ -1,0 +1,58 @@
+//! Quickstart: run the paper's two-region hybrid deployment under Policy 2
+//! (Available Resources Estimation) and print the per-era signals.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::framework::run_experiment;
+use acm::core::policy::PolicyKind;
+
+fn main() {
+    // The Figure-3 deployment: EC2 Ireland (6 × m3.medium) + private Munich
+    // (4 small VMware guests), 448 vs 160 emulated TPC-W browsers.
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    cfg.eras = 40;
+    // Use the ground-truth oracle so the quickstart finishes in a second;
+    // see the `f2pm_training` example for the full ML pipeline.
+    cfg.predictor = PredictorChoice::Oracle;
+
+    println!("deployment : {}", cfg.name);
+    println!(
+        "regions    : {}",
+        cfg.regions
+            .iter()
+            .map(|r| format!("{} ({} VMs)", r.region.name, r.region.total_vms))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("policy     : {}", cfg.policy);
+    println!();
+
+    let tel = run_experiment(&cfg);
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>8} {:>8} {:>10}",
+        "era", "rmttf_r1(s)", "rmttf_r3(s)", "f_r1", "f_r3", "resp(ms)"
+    );
+    for e in 0..tel.eras() {
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>8.3} {:>8.3} {:>10.1}",
+            e + 1,
+            tel.rmttf(0).points()[e].value,
+            tel.rmttf(1).points()[e].value,
+            tel.fraction(0).points()[e].value,
+            tel.fraction(1).points()[e].value,
+            tel.global_response().points()[e].value * 1000.0,
+        );
+    }
+
+    println!();
+    println!("RMTTF spread (last 10 eras)     : {:.3}", tel.rmttf_spread(10));
+    println!("fraction oscillation (last 10)  : {:.4}", tel.fraction_oscillation(10));
+    println!("mean client response (last 10)  : {:.0} ms", tel.tail_response(10) * 1000.0);
+    println!("proactive rejuvenations         : {}", tel.total_proactive());
+    println!("reactive failures               : {}", tel.total_reactive());
+    println!("requests served                 : {}", tel.total_completed());
+}

@@ -1,0 +1,113 @@
+//! Integration: the paper's Figure-3 claims on the two-region hybrid
+//! deployment, asserted statistically (oracle predictor for speed; the
+//! trained-predictor path is covered by `f2pm_pipeline.rs` and the fig3
+//! binary).
+
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::framework::run_experiment;
+use acm::core::policy::PolicyKind;
+use acm::core::telemetry::ExperimentTelemetry;
+
+fn run(policy: PolicyKind, eras: usize) -> ExperimentTelemetry {
+    run_seeded(policy, eras, 2016)
+}
+
+fn run_seeded(policy: PolicyKind, eras: usize, seed: u64) -> ExperimentTelemetry {
+    let mut cfg = ExperimentConfig::two_region_fig3(policy, seed);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = eras;
+    run_experiment(&cfg)
+}
+
+#[test]
+fn c1_policy1_rmttf_does_not_converge() {
+    let tel = run(PolicyKind::SensibleRouting, 90);
+    let spread = tel.rmttf_spread(30);
+    assert!(spread > 1.5, "Policy 1 spread should stay high, got {spread}");
+    assert_eq!(tel.convergence_era(1.25), None);
+}
+
+#[test]
+fn c2_policy2_converges_quickly_and_stably() {
+    let tel = run(PolicyKind::AvailableResources, 90);
+    let spread = tel.rmttf_spread(30);
+    assert!(spread < 1.2, "Policy 2 should equalise RMTTFs, got {spread}");
+    let conv = tel.convergence_era(1.25).expect("Policy 2 must converge");
+    assert!(conv < 45, "Policy 2 should converge early, got era {conv}");
+}
+
+#[test]
+fn c3_policy3_converges_but_noisier_than_policy2() {
+    // Single-seed convergence eras are noisy (one late blip resets the
+    // detector), so compare the mean over several seeds — the paper's
+    // "Policy 2 converges more quickly" is a distributional claim.
+    let mut p2_eras = 0.0;
+    let mut p3_eras = 0.0;
+    let mut p2_osc = 0.0;
+    let mut p3_osc = 0.0;
+    let seeds = [2016, 2017, 2018, 2019];
+    for &seed in &seeds {
+        let p2 = run_seeded(PolicyKind::AvailableResources, 90, seed);
+        let p3 = run_seeded(PolicyKind::Exploration, 90, seed);
+        assert!(p3.rmttf_spread(30) < 1.4, "Policy 3 should converge (seed {seed})");
+        p2_eras += p2.convergence_era(1.25).expect("P2 converges") as f64;
+        p3_eras += p3.convergence_era(1.25).expect("P3 converges") as f64;
+        p2_osc += p2.fraction_oscillation(30);
+        p3_osc += p3.fraction_oscillation(30);
+    }
+    let n = seeds.len() as f64;
+    assert!(
+        p2_eras / n <= p3_eras / n,
+        "P2 should converge faster on average: {} vs {}",
+        p2_eras / n,
+        p3_eras / n
+    );
+    assert!(
+        p3_osc / n > (p2_osc / n) * 0.8,
+        "P3 should be at least comparably noisy: {} vs {}",
+        p3_osc / n,
+        p2_osc / n
+    );
+}
+
+#[test]
+fn c4_response_time_stays_below_one_second_for_all_policies() {
+    for policy in PolicyKind::ALL {
+        let tel = run(policy, 60);
+        let resp = tel.tail_response(30);
+        assert!(resp < 1.0, "{policy}: tail response {resp}s");
+        // And it is not trivially zero — the system is actually serving.
+        assert!(resp > 0.001, "{policy}: suspiciously low response {resp}s");
+    }
+}
+
+#[test]
+fn equilibrium_fractions_reflect_regional_capacity() {
+    // Under Policy 2 the memory-rich Ireland region (5 active m3.medium)
+    // must end up absorbing the bulk of the flow.
+    let tel = run(PolicyKind::AvailableResources, 90);
+    let f_ireland = tel.fraction(0).tail_stats(30).mean();
+    let f_munich = tel.fraction(1).tail_stats(30).mean();
+    assert!(
+        f_ireland > 0.75 && f_ireland < 0.95,
+        "unexpected equilibrium: ireland {f_ireland}, munich {f_munich}"
+    );
+    assert!((f_ireland + f_munich - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn proactive_maintenance_dominates_reactive_failures_with_oracle() {
+    let tel = run(PolicyKind::AvailableResources, 90);
+    assert!(tel.total_proactive() > 0);
+    // With ground-truth predictions the only reactive failures come from
+    // standby starvation (fresh VMs cross the rejuvenation threshold in
+    // near-lockstep, and the paper-sized pools keep just 1 spare per
+    // region), so reactive stays the same order as proactive, never a
+    // blow-up.
+    assert!(
+        tel.total_reactive() <= tel.total_proactive() * 2,
+        "reactive {} should stay comparable to proactive {}",
+        tel.total_reactive(),
+        tel.total_proactive()
+    );
+}

@@ -1,0 +1,70 @@
+//! Integration: the paper's Figure-4 claims on the three-region deployment
+//! (adds the 12 × m3.small Frankfurt region).
+
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::framework::run_experiment;
+use acm::core::policy::PolicyKind;
+use acm::core::telemetry::ExperimentTelemetry;
+
+fn run(policy: PolicyKind, eras: usize) -> ExperimentTelemetry {
+    let mut cfg = ExperimentConfig::three_region_fig4(policy, 2016);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = eras;
+    run_experiment(&cfg)
+}
+
+#[test]
+fn three_region_policy1_still_fails_to_converge() {
+    let tel = run(PolicyKind::SensibleRouting, 90);
+    assert!(tel.rmttf_spread(30) > 1.5, "spread {}", tel.rmttf_spread(30));
+}
+
+#[test]
+fn three_region_policies_2_and_3_cope_with_heterogeneity() {
+    let p2 = run(PolicyKind::AvailableResources, 90);
+    let p3 = run(PolicyKind::Exploration, 90);
+    assert!(p2.rmttf_spread(30) < 1.2, "P2 spread {}", p2.rmttf_spread(30));
+    assert!(p3.rmttf_spread(30) < 1.4, "P3 spread {}", p3.rmttf_spread(30));
+}
+
+#[test]
+fn policy1_causes_more_plan_churn_than_policy2() {
+    let p1 = run(PolicyKind::SensibleRouting, 90);
+    let p2 = run(PolicyKind::AvailableResources, 90);
+    let churn1 = p1.plan_churn().tail_stats(30).mean();
+    let churn2 = p2.plan_churn().tail_stats(30).mean();
+    assert!(
+        churn1 > churn2,
+        "P1 churn {churn1} should exceed P2 churn {churn2}"
+    );
+}
+
+#[test]
+fn all_three_regions_carry_meaningful_load_under_policy2() {
+    let tel = run(PolicyKind::AvailableResources, 90);
+    for i in 0..3 {
+        let f = tel.fraction(i).tail_stats(30).mean();
+        assert!(f > 0.02, "region {i} starved: f = {f}");
+    }
+    // Munich (tiny private region) must get the smallest share.
+    let f: Vec<f64> = (0..3).map(|i| tel.fraction(i).tail_stats(30).mean()).collect();
+    assert!(f[2] < f[0] && f[2] < f[1], "{f:?}");
+}
+
+#[test]
+fn response_time_matches_two_region_case() {
+    // The paper omits the 3-region response plot "because it is similar":
+    // verify both deployments keep comparable sub-SLA response times.
+    let three = run(PolicyKind::AvailableResources, 60);
+    let mut cfg2 = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2016);
+    cfg2.predictor = PredictorChoice::Oracle;
+    cfg2.eras = 60;
+    let two = run_experiment(&cfg2);
+    let r3 = three.tail_response(20);
+    let r2 = two.tail_response(20);
+    assert!(r3 < 1.0 && r2 < 1.0);
+    assert!(
+        (r3 - r2).abs() < 0.5,
+        "responses should be similar: 3-region {r3}, 2-region {r2}"
+    );
+}

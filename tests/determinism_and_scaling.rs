@@ -1,0 +1,112 @@
+//! Integration: reproducibility guarantees and autoscaling behaviour.
+
+use acm::core::autoscale::AutoscaleConfig;
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::framework::run_experiment;
+use acm::core::policy::PolicyKind;
+use acm::sim::SimTime;
+use acm::workload::ClientSchedule;
+
+#[test]
+fn full_pipeline_is_bit_reproducible_per_seed() {
+    // Includes F2PM training: collection, Lasso, REP-Tree, control loop.
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::Exploration, 77);
+    cfg.eras = 25;
+    let a = run_experiment(&cfg);
+    let b = run_experiment(&cfg);
+    assert_eq!(a.to_csv(), b.to_csv());
+}
+
+#[test]
+fn seeds_change_the_trajectory_but_not_the_conclusions() {
+    let mut spreads = Vec::new();
+    for seed in [1, 2, 3] {
+        let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, seed);
+        cfg.predictor = PredictorChoice::Oracle;
+        cfg.eras = 80;
+        let tel = run_experiment(&cfg);
+        spreads.push(tel.rmttf_spread(25));
+    }
+    // Trajectories differ, but Policy 2 converges for every seed.
+    for s in &spreads {
+        assert!(*s < 1.25, "spread {s} (all: {spreads:?})");
+    }
+}
+
+#[test]
+fn autoscaler_grows_a_region_under_a_client_surge() {
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 70;
+    cfg.regions[0].clients = ClientSchedule::Step {
+        before: 128,
+        after: 512,
+        at: SimTime::from_secs(600),
+    };
+    cfg.regions[1].clients = ClientSchedule::Constant(96);
+    cfg.autoscale = AutoscaleConfig {
+        enabled: true,
+        response_threshold_s: 0.25,
+        rmttf_low_s: 400.0,
+        rmttf_high_s: 1e9,
+        cooldown_eras: 4,
+        max_vms: 16,
+    };
+    let tel = run_experiment(&cfg);
+    let peak = |from: usize, to: usize| {
+        tel.active_vms(0).points()[from..to]
+            .iter()
+            .map(|p| p.value)
+            .fold(0.0, f64::max)
+    };
+    assert!(
+        peak(40, tel.eras()) > peak(0, 20),
+        "no growth: before {} after {}",
+        peak(0, 20),
+        peak(40, tel.eras())
+    );
+    // And the SLA holds through the surge.
+    assert!(tel.tail_response(20) < 1.0);
+}
+
+#[test]
+fn autoscaler_releases_capacity_when_idle() {
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 50;
+    // Nearly idle system.
+    cfg.regions[0].clients = ClientSchedule::Constant(16);
+    cfg.regions[1].clients = ClientSchedule::Constant(16);
+    cfg.autoscale = AutoscaleConfig {
+        enabled: true,
+        response_threshold_s: 0.8,
+        rmttf_low_s: 60.0,
+        rmttf_high_s: 3_000.0,
+        cooldown_eras: 4,
+        max_vms: 16,
+    };
+    let tel = run_experiment(&cfg);
+    let start = tel.active_vms(0).points()[0].value;
+    let end = tel.active_vms(0).last().unwrap();
+    assert!(end < start, "idle region should shrink: {start} -> {end}");
+}
+
+#[test]
+fn ramp_schedule_shifts_ingress_over_time() {
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 60;
+    cfg.regions[0].clients = ClientSchedule::Ramp {
+        from: 64,
+        to: 448,
+        start: SimTime::from_secs(300),
+        end: SimTime::from_secs(1200),
+    };
+    let tel = run_experiment(&cfg);
+    let lambda_early = tel.global_lambda().points()[5].value;
+    let lambda_late = tel.global_lambda().points()[55].value;
+    assert!(
+        lambda_late > lambda_early * 2.0,
+        "ramp not visible: {lambda_early} -> {lambda_late}"
+    );
+}

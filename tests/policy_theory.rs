@@ -1,0 +1,83 @@
+//! Integration: the analytic predictions of DESIGN.md §5 hold end-to-end.
+//!
+//! The fidelity model predicts Policy 1's equilibrium RMTTF imbalance on a
+//! two-region deployment with capacity ratio `r` to be `√r` (fixed point
+//! `f ∝ √C`), and Policy 2's to be 1 regardless. These tests pin the
+//! ablation-A3 result as a CI-checked invariant.
+
+use acm::core::config::{ExperimentConfig, PredictorChoice, RegionSpec};
+use acm::core::framework::run_experiment;
+use acm::core::policy::PolicyKind;
+use acm::pcam::RegionConfig;
+use acm::vm::VmFlavor;
+use acm::workload::ClientSchedule;
+
+/// Two same-size regions whose anomaly budgets differ by `ratio`.
+fn deployment(ratio: f64, policy: PolicyKind) -> ExperimentConfig {
+    let flavor_a = VmFlavor::m3_medium();
+    let mut flavor_b = VmFlavor::m3_medium();
+    flavor_b.name = format!("shrunk-{ratio}");
+    let budget = flavor_a.ram_mb - flavor_a.baseline_resident_mb;
+    flavor_b.ram_mb = flavor_a.baseline_resident_mb + budget / ratio;
+    flavor_b.swap_mb = flavor_a.swap_mb / ratio;
+
+    let mut cfg = ExperimentConfig::two_region_fig3(policy, 7);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 100;
+    cfg.regions = vec![
+        RegionSpec {
+            region: RegionConfig::new("big", flavor_a, 5, 4),
+            clients: ClientSchedule::Constant(256),
+        },
+        RegionSpec {
+            region: RegionConfig::new("small", flavor_b, 5, 4),
+            clients: ClientSchedule::Constant(128),
+        },
+    ];
+    cfg
+}
+
+#[test]
+fn policy1_equilibrium_spread_tracks_sqrt_capacity_ratio() {
+    for ratio in [2.0, 4.0] {
+        let tel = run_experiment(&deployment(ratio, PolicyKind::SensibleRouting));
+        let spread = tel.rmttf_spread(30);
+        let theory = ratio.sqrt();
+        assert!(
+            (spread - theory).abs() / theory < 0.25,
+            "ratio {ratio}: spread {spread} vs theory {theory}"
+        );
+    }
+}
+
+#[test]
+fn policy2_spread_is_flat_in_capacity_ratio() {
+    for ratio in [1.0, 4.0, 8.0] {
+        let tel = run_experiment(&deployment(ratio, PolicyKind::AvailableResources));
+        let spread = tel.rmttf_spread(30);
+        assert!(spread < 1.1, "ratio {ratio}: spread {spread}");
+    }
+}
+
+#[test]
+fn homogeneous_regions_make_policy1_converge_too() {
+    // The paper: sensible routing "is more suitable for less-heterogeneous
+    // environments" — at ratio 1 it must work.
+    let tel = run_experiment(&deployment(1.0, PolicyKind::SensibleRouting));
+    let spread = tel.rmttf_spread(30);
+    assert!(spread < 1.15, "homogeneous P1 spread {spread}");
+}
+
+#[test]
+fn policy2_fractions_match_capacity_shares() {
+    // At ratio r with equal VM counts, region capacities are C and C/r, so
+    // Policy 2's fixed point is f = (r/(r+1), 1/(r+1)).
+    let ratio = 4.0;
+    let tel = run_experiment(&deployment(ratio, PolicyKind::AvailableResources));
+    let f_big = tel.fraction(0).tail_stats(30).mean();
+    let theory = ratio / (ratio + 1.0);
+    assert!(
+        (f_big - theory).abs() < 0.06,
+        "f_big {f_big} vs theory {theory}"
+    );
+}

@@ -1,0 +1,105 @@
+//! Integration: scripted runtime scenarios through the whole framework.
+
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::framework::run_experiment;
+use acm::core::policy::PolicyKind;
+use acm::core::scenario::{Scenario, ScenarioAction, ScheduledAction};
+use acm::sim::SimTime;
+
+fn base(policy: PolicyKind) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::two_region_fig3(policy, 2016);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 100;
+    cfg
+}
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+#[test]
+fn scripted_policy_switch_rescues_sensible_routing() {
+    let mut cfg = base(PolicyKind::SensibleRouting);
+    cfg.scenario = Scenario::new(vec![ScheduledAction {
+        at: t(1500), // era 50
+        action: ScenarioAction::SwitchPolicy(PolicyKind::AvailableResources),
+    }]);
+    let tel = run_experiment(&cfg);
+    // Diverged while Policy 1 ruled...
+    let early: Vec<f64> = (0..2)
+        .map(|i| {
+            tel.rmttf(i).points()[30..45]
+                .iter()
+                .map(|p| p.value)
+                .sum::<f64>()
+                / 15.0
+        })
+        .collect();
+    let early_spread = early[0].max(early[1]) / early[0].min(early[1]);
+    assert!(early_spread > 1.5, "early spread {early_spread}");
+    // ...converged after the switch.
+    let late_spread = tel.rmttf_spread(25);
+    assert!(late_spread < 1.2, "late spread {late_spread}");
+}
+
+#[test]
+fn scripted_capacity_change_is_applied() {
+    let mut cfg = base(PolicyKind::AvailableResources);
+    cfg.eras = 40;
+    cfg.scenario = Scenario::new(vec![
+        // Add two VMs to Munich and activate them at era 20.
+        ScheduledAction { at: t(600), action: ScenarioAction::AddVm { region: 1 } },
+        ScheduledAction { at: t(600), action: ScenarioAction::AddVm { region: 1 } },
+        ScheduledAction {
+            at: t(600),
+            action: ScenarioAction::SetTargetActive { region: 1, target: 5 },
+        },
+    ]);
+    let tel = run_experiment(&cfg);
+    let before = tel.active_vms(1).points()[10].value;
+    let after = tel.active_vms(1).last().unwrap();
+    assert_eq!(before, 3.0);
+    assert_eq!(after, 5.0);
+    // More Munich capacity shifts the Policy-2 equilibrium toward Munich.
+    let f_before = tel.fraction(1).points()[15].value;
+    let f_after = tel.fraction(1).tail_stats(10).mean();
+    assert!(
+        f_after > f_before * 1.2,
+        "fractions should follow capacity: {f_before} -> {f_after}"
+    );
+}
+
+#[test]
+fn scripted_link_fault_matches_link_fault_config() {
+    // The scenario mechanism must behave exactly like the legacy
+    // link_faults list.
+    let mut via_faults = base(PolicyKind::AvailableResources);
+    via_faults.eras = 40;
+    via_faults.link_faults = vec![acm::core::config::LinkFault {
+        a: 0,
+        b: 1,
+        fail_at: t(300),
+        recover_at: t(600),
+    }];
+    let tel_faults = run_experiment(&via_faults);
+
+    let mut via_scenario = base(PolicyKind::AvailableResources);
+    via_scenario.eras = 40;
+    via_scenario.scenario = Scenario::new(vec![
+        ScheduledAction { at: t(300), action: ScenarioAction::FailLink { a: 0, b: 1 } },
+        ScheduledAction { at: t(600), action: ScenarioAction::RecoverLink { a: 0, b: 1 } },
+    ]);
+    let tel_scenario = run_experiment(&via_scenario);
+
+    assert_eq!(tel_faults.to_csv(), tel_scenario.to_csv());
+}
+
+#[test]
+fn invalid_scenario_is_rejected_at_validation() {
+    let mut cfg = base(PolicyKind::AvailableResources);
+    cfg.scenario = Scenario::new(vec![ScheduledAction {
+        at: t(10),
+        action: ScenarioAction::AddVm { region: 9 },
+    }]);
+    assert!(cfg.validate().is_err());
+}

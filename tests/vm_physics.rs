@@ -1,0 +1,179 @@
+//! Integration: the VM model's physics — in particular the invariant that
+//! makes Policy 2 work: `MTTF(λ) · λ ≈ const` (the resource stock of a VM
+//! is load-invariant when anomalies are consumed linearly per request).
+
+use acm::sim::{Duration, SimRng, SimTime};
+use acm::vm::{AnomalyConfig, FailureSpec, Vm, VmFlavor, VmId, VmState};
+
+fn fresh_vm(flavor: VmFlavor, seed: u64) -> Vm {
+    Vm::new(
+        VmId(0),
+        flavor,
+        AnomalyConfig::default(),
+        FailureSpec::default(),
+        VmState::Active,
+        SimRng::new(seed),
+    )
+}
+
+#[test]
+fn mttf_times_rate_is_nearly_load_invariant() {
+    // Q = MTTF(λ)·λ across a 4x rate range must vary far less than MTTF
+    // itself does — the premise of the Available Resources policy (Eq. 3).
+    let spec = FailureSpec::default();
+    let cfg = AnomalyConfig::default();
+    for flavor in [VmFlavor::m3_medium(), VmFlavor::m3_small(), VmFlavor::private_munich()] {
+        let qs: Vec<f64> = [5.0, 10.0, 20.0]
+            .iter()
+            .map(|&lambda| spec.mttf_at_rate(&flavor, &cfg, lambda) * lambda)
+            .collect();
+        let q_spread = qs.iter().cloned().fold(0.0_f64, f64::max)
+            / qs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            q_spread < 1.6,
+            "{}: Q not load-invariant enough: {qs:?}",
+            flavor.name
+        );
+        // While MTTF itself varies ~4x over the same range.
+        let mttf_hi = spec.mttf_at_rate(&flavor, &cfg, 5.0);
+        let mttf_lo = spec.mttf_at_rate(&flavor, &cfg, 20.0);
+        assert!(mttf_hi / mttf_lo > 2.5, "{}: MTTF barely moved", flavor.name);
+    }
+}
+
+#[test]
+fn simulated_lifetime_matches_the_fluid_mttf() {
+    // Run VMs to failure and compare the empirical lifetime with the
+    // analytic fluid MTTF the controllers reason about.
+    let lambda = 12.0;
+    let spec = FailureSpec::default();
+    let cfg = AnomalyConfig::default();
+    let predicted = spec.mttf_at_rate(&VmFlavor::m3_medium(), &cfg, lambda);
+    assert!(predicted.is_finite());
+
+    let era = Duration::from_secs(10);
+    let mut lifetimes = Vec::new();
+    for seed in 0..20 {
+        let mut vm = fresh_vm(VmFlavor::m3_medium(), seed);
+        let mut now = SimTime::ZERO;
+        loop {
+            vm.process_era(now, era, lambda);
+            now += era;
+            if let acm::vm::VmState::Failed { at, .. } = vm.state() {
+                lifetimes.push(at.as_secs_f64());
+                break;
+            }
+            assert!(
+                now.as_secs_f64() < predicted * 5.0,
+                "VM survived implausibly long"
+            );
+        }
+    }
+    let mean = lifetimes.iter().sum::<f64>() / lifetimes.len() as f64;
+    let rel = (mean - predicted).abs() / predicted;
+    assert!(
+        rel < 0.15,
+        "empirical lifetime {mean:.0}s vs fluid MTTF {predicted:.0}s"
+    );
+}
+
+#[test]
+fn degradation_is_monotone_until_failure() {
+    let mut vm = fresh_vm(VmFlavor::m3_small(), 7);
+    let lambda = 10.0;
+    let era = Duration::from_secs(20);
+    let mut now = SimTime::ZERO;
+    let mut last_resident = 0.0;
+    let mut last_rttf = f64::INFINITY;
+    while vm.is_active() {
+        let f = vm.features(now, lambda);
+        let resident = f.get("resident_mb").unwrap();
+        assert!(resident >= last_resident, "resident set shrank without rejuvenation");
+        let rttf = vm.true_rttf(lambda);
+        assert!(rttf <= last_rttf + 1.0, "RTTF grew under constant load");
+        last_resident = resident;
+        last_rttf = rttf;
+        vm.process_era(now, era, lambda);
+        now += era;
+        assert!(now.as_secs_f64() < 20_000.0, "never failed");
+    }
+}
+
+#[test]
+fn rejuvenation_fully_restores_service_rate() {
+    let mut vm = fresh_vm(VmFlavor::m3_medium(), 9);
+    let lambda = 20.0;
+    let era = Duration::from_secs(30);
+    let fresh_features = vm.features(SimTime::ZERO, lambda);
+    let mut now = SimTime::ZERO;
+    for _ in 0..8 {
+        vm.process_era(now, era, lambda);
+        now += era;
+    }
+    let aged = vm.features(now, lambda);
+    assert!(aged.get("resident_mb").unwrap() > fresh_features.get("resident_mb").unwrap());
+
+    vm.start_rejuvenation(now, Duration::from_secs(60));
+    now += Duration::from_secs(60);
+    assert!(vm.poll_rejuvenation(now));
+    vm.activate(now);
+    let restored = vm.features(now, lambda);
+    assert_eq!(
+        restored.get("resident_mb"),
+        fresh_features.get("resident_mb"),
+        "rejuvenation must clear every leaked byte"
+    );
+    assert_eq!(restored.get("threads"), fresh_features.get("threads"));
+    assert_eq!(restored.get("age_s"), Some(0.0));
+}
+
+#[test]
+fn response_time_rises_as_the_failure_point_nears() {
+    // The response-time feature must carry predictive signal — the reason
+    // Lasso keeps it in the F2PM selection.
+    let mut vm = fresh_vm(VmFlavor::m3_medium(), 11);
+    let lambda = 20.0;
+    let era = Duration::from_secs(30);
+    let mut now = SimTime::ZERO;
+    let mut first_resp = None;
+    let mut last_healthy = 0.0;
+    let mut peak = 0.0_f64;
+    while vm.is_active() {
+        let out = vm.process_era(now, era, lambda);
+        now += era;
+        if out.completed > 0 {
+            first_resp.get_or_insert(out.mean_response_s);
+            peak = peak.max(out.mean_response_s);
+            if vm.is_active() {
+                last_healthy = out.mean_response_s;
+            }
+        }
+    }
+    let first = first_resp.expect("served at least one era");
+    // Visible degradation while still healthy, and a pronounced spike at
+    // the failure point (where SLA saturation clamps the era response).
+    assert!(
+        last_healthy > 1.3 * first,
+        "no degradation signal: first {first}, last healthy {last_healthy}"
+    );
+    assert!(peak > 3.0 * first, "no failure spike: first {first}, peak {peak}");
+}
+
+#[test]
+fn heterogeneous_flavors_have_ordered_capacity() {
+    // The regional capacity ordering that drives every figure:
+    // 6 × medium > 12 × small > 4 × private (per the paper's deployments,
+    // in per-request resource-stock terms).
+    let spec = FailureSpec::default();
+    let cfg = AnomalyConfig::default();
+    let stock = |flavor: &VmFlavor, n: f64| {
+        let lambda = 8.0;
+        n * spec.mttf_at_rate(flavor, &cfg, lambda) * lambda
+    };
+    let ireland = stock(&VmFlavor::m3_medium(), 5.0);
+    let frankfurt = stock(&VmFlavor::m3_small(), 10.0);
+    let munich = stock(&VmFlavor::private_munich(), 3.0);
+    assert!(ireland > frankfurt && frankfurt > munich, "{ireland} {frankfurt} {munich}");
+    // And the imbalance is strong — this is a HIGHLY heterogeneous deploy.
+    assert!(ireland / munich > 3.0);
+}
