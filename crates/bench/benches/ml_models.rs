@@ -41,6 +41,35 @@ fn bench_models(c: &mut Criterion) {
         });
     }
     predict.finish();
+
+    // Batched vs scalar tree prediction over a realistic era-sized block of
+    // rows; asserts the batch path is exactly equivalent before timing it.
+    let mut batch = c.benchmark_group("ml_predict_batch");
+    let rows: Vec<Vec<f64>> = (0..256).map(|i| db.row(i % db.len()).to_vec()).collect();
+    let mut r = SimRng::new(5);
+    let tree = match ModelKind::RepTree.fit(&db, &mut r) {
+        acm_ml::model::AnyModel::RepTree(t) => t,
+        _ => unreachable!("RepTree.fit returns a tree"),
+    };
+    let scalar: Vec<f64> = rows.iter().map(|row| tree.predict_one(row)).collect();
+    assert_eq!(tree.predict_batch(&rows), scalar, "batch must match scalar");
+    batch.bench_function("rep_tree_scalar_256", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in &rows {
+                acc += tree.predict_one(black_box(row));
+            }
+            black_box(acc)
+        })
+    });
+    batch.bench_function("rep_tree_batch_256", |b| {
+        let mut out = Vec::with_capacity(rows.len());
+        b.iter(|| {
+            tree.predict_batch_into(rows.iter().map(|r| r.as_slice()), &mut out);
+            black_box(out.iter().sum::<f64>())
+        })
+    });
+    batch.finish();
 }
 
 criterion_group!(benches, bench_models);

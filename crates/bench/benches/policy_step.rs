@@ -17,21 +17,17 @@ fn bench_policies(c: &mut Criterion) {
         let rmttf: Vec<f64> = (0..n).map(|_| rng.uniform(100.0, 1000.0)).collect();
         for kind in PolicyKind::ALL {
             let policy = LoadBalancingPolicy::new(kind);
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, _| {
-                    let mut r = SimRng::new(9);
-                    b.iter(|| {
-                        black_box(policy.next_fractions(
-                            black_box(&prev),
-                            black_box(&rmttf),
-                            100.0,
-                            &mut r,
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                let mut r = SimRng::new(9);
+                b.iter(|| {
+                    black_box(policy.next_fractions(
+                        black_box(&prev),
+                        black_box(&rmttf),
+                        100.0,
+                        &mut r,
+                    ))
+                })
+            });
         }
     }
     group.finish();

@@ -82,5 +82,11 @@ fn bench_vm_era(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_simulator, bench_rng, bench_vm_era);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_simulator,
+    bench_rng,
+    bench_vm_era
+);
 criterion_main!(benches);

@@ -33,8 +33,7 @@ fn main() {
     let rows: Vec<(String, String)> = strategies
         .par_iter()
         .map(|(name, strategy)| {
-            let mut cfg =
-                ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2016);
+            let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2016);
             cfg.predictor = PredictorChoice::Oracle;
             cfg.name = format!("ablation-balancer-{name}");
             for spec in &mut cfg.regions {

@@ -19,22 +19,20 @@ use rayon::prelude::*;
 use std::fs;
 
 fn main() {
-    let candidates: Vec<(String, PredictorChoice)> = std::iter::once((
-        "oracle".to_string(),
-        PredictorChoice::Oracle,
-    ))
-    .chain(
-        [
-            ModelKind::RepTree,
-            ModelKind::M5P,
-            ModelKind::LsSvm,
-            ModelKind::Linear,
-            ModelKind::Svr,
-        ]
-        .into_iter()
-        .map(|k| (k.name().to_string(), PredictorChoice::Trained(k))),
-    )
-    .collect();
+    let candidates: Vec<(String, PredictorChoice)> =
+        std::iter::once(("oracle".to_string(), PredictorChoice::Oracle))
+            .chain(
+                [
+                    ModelKind::RepTree,
+                    ModelKind::M5P,
+                    ModelKind::LsSvm,
+                    ModelKind::Linear,
+                    ModelKind::Svr,
+                ]
+                .into_iter()
+                .map(|k| (k.name().to_string(), PredictorChoice::Trained(k))),
+            )
+            .collect();
 
     println!("Ablation A5 — predictor family vs control quality (fig3, Policy 2)\n");
     println!(
@@ -46,8 +44,7 @@ fn main() {
     let rows: Vec<(String, String)> = candidates
         .par_iter()
         .map(|(name, choice)| {
-            let mut cfg =
-                ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2016);
+            let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2016);
             cfg.predictor = *choice;
             cfg.name = format!("ablation-predictor-{name}");
             let tel = run_experiment(&cfg);

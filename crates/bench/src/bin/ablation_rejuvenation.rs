@@ -30,8 +30,7 @@ fn main() {
     let rows: Vec<(String, String)> = thresholds_s
         .par_iter()
         .map(|&th| {
-            let mut cfg =
-                ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2016);
+            let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2016);
             cfg.name = format!("ablation-rejuvenation-{th}");
             for spec in &mut cfg.regions {
                 spec.region.rttf_threshold = Duration::from_secs(th);

@@ -24,16 +24,14 @@ fn charts(tel: &ExperimentTelemetry) {
         .enumerate()
         .map(|(i, n)| (n.as_str(), tel.rmttf(i).values().collect()))
         .collect();
-    let rmttf_refs: Vec<(&str, &[f64])> =
-        rmttf.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    let rmttf_refs: Vec<(&str, &[f64])> = rmttf.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     print!("{}", ascii_chart("RMTTF (s)", &rmttf_refs, 100, 10));
     let fracs: Vec<(&str, Vec<f64>)> = names
         .iter()
         .enumerate()
         .map(|(i, n)| (n.as_str(), tel.fraction(i).values().collect()))
         .collect();
-    let frac_refs: Vec<(&str, &[f64])> =
-        fracs.iter().map(|(n, v)| (*n, v.as_slice())).collect();
+    let frac_refs: Vec<(&str, &[f64])> = fracs.iter().map(|(n, v)| (*n, v.as_slice())).collect();
     print!("{}", ascii_chart("fraction f_i", &frac_refs, 100, 8));
     let resp: Vec<f64> = tel.global_response().values().map(|v| v * 1000.0).collect();
     print!(
@@ -86,7 +84,9 @@ fn main() {
         charts(&tel);
         tels.push(tel);
     }
-    let [p1, p2, p3] = &tels[..] else { unreachable!() };
+    let [p1, p2, p3] = &tels[..] else {
+        unreachable!()
+    };
     let w = tail_window(p1);
 
     let claims = vec![

@@ -39,13 +39,14 @@ fn main() {
             &CollectionConfig::default(),
             &mut rng,
         );
-        println!("feature database: {} rows x {} features", db.len(), db.width());
+        println!(
+            "feature database: {} rows x {} features",
+            db.len(),
+            db.width()
+        );
 
         let (_, report) = F2pmToolchain::default().run(&db, &mut rng);
-        println!(
-            "lasso selected: {}",
-            report.selected_names.join(", ")
-        );
+        println!("lasso selected: {}", report.selected_names.join(", "));
         println!("holdout ranking:");
         print!("{}", report.to_table());
 

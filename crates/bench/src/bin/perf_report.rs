@@ -1,0 +1,325 @@
+//! Hot-path throughput report.
+//!
+//! Runs fixed-seed workloads over every layer the hot-path overhaul
+//! touched — the event kernel (new arena queue vs the retained seed
+//! implementation), the discrete-event driver, request dispatch through
+//! `RegionSim`, leader policy steps, and REP-Tree training plus
+//! scalar-vs-batched prediction — and writes the numbers to
+//! `BENCH_PR1.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p acm-bench --bin perf_report
+//! ```
+//!
+//! Every workload is deterministic per its hard-coded seed; timings vary
+//! with the machine, the ratios (`*_speedup`) are the stable signal.
+
+use acm_core::config::ExperimentConfig;
+use acm_core::framework::run_experiment;
+use acm_core::policy::{uniform_fractions, LoadBalancingPolicy, PolicyKind};
+use acm_ml::model::{AnyModel, ModelKind};
+use acm_pcam::events::RegionSim;
+use acm_pcam::training::{collect_database, CollectionConfig};
+use acm_pcam::vmc::{RegionConfig, RttfSource};
+use acm_sim::rng::SimRng;
+use acm_sim::sim::Simulator;
+use acm_sim::time::{Duration, SimTime};
+use acm_vm::{AnomalyConfig, FailureSpec, VmFlavor};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median seconds per call of `f` over `samples` timed batches of `reps`
+/// calls each (after one warmup batch).
+fn time_it<F: FnMut()>(reps: u32, samples: usize, mut f: F) -> f64 {
+    for _ in 0..reps {
+        f();
+    }
+    let mut per_call: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            start.elapsed().as_secs_f64() / reps as f64
+        })
+        .collect();
+    per_call.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    per_call[per_call.len() / 2]
+}
+
+struct Report {
+    entries: Vec<(String, f64)>,
+}
+
+impl Report {
+    fn push(&mut self, name: &str, value: f64) {
+        println!("{name:<44} {value:>16.1}");
+        self.entries.push((name.to_string(), value));
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let _ = writeln!(s, "  \"{name}\": {value:.3}{comma}");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// The seed of `event_queue_push_pop_1k`: schedule 1k, drain.
+fn queue_workloads(report: &mut Report) {
+    const N: u64 = 1000;
+    let new_pp = time_it(200, 9, || {
+        let mut rng = SimRng::new(1);
+        let mut q = acm_sim::event::EventQueue::new();
+        for i in 0..N {
+            q.schedule(SimTime::from_micros(rng.next_u64() % 1_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum);
+    });
+    let legacy_pp = time_it(200, 9, || {
+        let mut rng = SimRng::new(1);
+        let mut q = acm_sim::legacy::EventQueue::new();
+        for i in 0..N {
+            q.schedule(SimTime::from_micros(rng.next_u64() % 1_000_000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum += v;
+        }
+        black_box(sum);
+    });
+    report.push("event_queue_push_pop_1k_ops_per_s", N as f64 / new_pp);
+    report.push(
+        "event_queue_push_pop_1k_legacy_ops_per_s",
+        N as f64 / legacy_pp,
+    );
+    report.push("event_queue_push_pop_1k_speedup", legacy_pp / new_pp);
+
+    // Cancellation-heavy churn: schedule 4, cancel 2, pop 1, repeat — the
+    // timer-wheel-like pattern the per-request completion events produce.
+    const ROUNDS: u64 = 1000;
+    let new_cc = time_it(120, 9, || {
+        let mut rng = SimRng::new(2);
+        let mut q = acm_sim::event::EventQueue::new();
+        let mut handles = Vec::with_capacity(4 * ROUNDS as usize);
+        for i in 0..ROUNDS {
+            for k in 0..4u64 {
+                handles
+                    .push(q.schedule(SimTime::from_micros(rng.next_u64() % 1_000_000), i * 4 + k));
+            }
+            let h = handles.len();
+            q.cancel(handles[h - 2]);
+            q.cancel(handles[h - 4]);
+            black_box(q.pop());
+        }
+        while q.pop().is_some() {}
+    });
+    let legacy_cc = time_it(120, 9, || {
+        let mut rng = SimRng::new(2);
+        let mut q = acm_sim::legacy::EventQueue::new();
+        let mut handles = Vec::with_capacity(4 * ROUNDS as usize);
+        for i in 0..ROUNDS {
+            for k in 0..4u64 {
+                handles
+                    .push(q.schedule(SimTime::from_micros(rng.next_u64() % 1_000_000), i * 4 + k));
+            }
+            let h = handles.len();
+            q.cancel(handles[h - 2]);
+            q.cancel(handles[h - 4]);
+            black_box(q.pop());
+        }
+        while q.pop().is_some() {}
+    });
+    report.push(
+        "event_queue_cancel_churn_ops_per_s",
+        (7 * ROUNDS) as f64 / new_cc,
+    );
+    report.push(
+        "event_queue_cancel_churn_legacy_ops_per_s",
+        (7 * ROUNDS) as f64 / legacy_cc,
+    );
+    report.push("event_queue_cancel_churn_speedup", legacy_cc / new_cc);
+}
+
+/// A verbatim replica of the seed driver loop over the retained seed queue:
+/// boxed `FnOnce` handlers popped in `(time, seq)` order. Only the queue
+/// differs from [`Simulator`], so the ratio isolates the kernel swap.
+type LegacyHandler = Box<dyn FnOnce(&mut LegacySim)>;
+
+struct LegacySim {
+    now: SimTime,
+    queue: acm_sim::legacy::EventQueue<LegacyHandler>,
+    world: u64,
+}
+
+impl LegacySim {
+    fn schedule_in(&mut self, delay: Duration, handler: impl FnOnce(&mut LegacySim) + 'static) {
+        let at = self.now + delay;
+        self.queue.schedule(at, Box::new(handler));
+    }
+
+    fn run_to_completion(&mut self) {
+        while let Some((at, handler)) = self.queue.pop() {
+            self.now = at;
+            handler(self);
+        }
+    }
+}
+
+/// The seed of `simulator_10k_events`: a 10k-deep self-scheduling chain.
+fn simulator_workload(report: &mut Report) {
+    const N: u64 = 10_000;
+    let per_run = time_it(30, 9, || {
+        let mut sim = Simulator::new(0u64);
+        fn chain(s: &mut Simulator<u64>) {
+            s.world += 1;
+            if s.world < 10_000 {
+                s.schedule_in(Duration::from_micros(10), chain);
+            }
+        }
+        sim.schedule_at(SimTime::ZERO, chain);
+        sim.run_to_completion(u64::MAX);
+        black_box(sim.world);
+    });
+    let legacy_per_run = time_it(30, 9, || {
+        let mut sim = LegacySim {
+            now: SimTime::ZERO,
+            queue: acm_sim::legacy::EventQueue::new(),
+            world: 0,
+        };
+        fn chain(s: &mut LegacySim) {
+            s.world += 1;
+            if s.world < 10_000 {
+                s.schedule_in(Duration::from_micros(10), chain);
+            }
+        }
+        sim.schedule_in(Duration::ZERO, chain);
+        sim.run_to_completion();
+        black_box(sim.world);
+    });
+    report.push("simulator_10k_events_per_s", N as f64 / per_run);
+    report.push(
+        "simulator_10k_events_legacy_per_s",
+        N as f64 / legacy_per_run,
+    );
+    report.push("simulator_10k_events_speedup", legacy_per_run / per_run);
+}
+
+/// Request dispatch through the event-grain region: serve with periodic
+/// controller ticks, concurrency-tracked begin/finish.
+fn region_sim_workload(report: &mut Report) {
+    const REQS: u64 = 50_000;
+    let per_run = time_it(8, 7, || {
+        let mut region = RegionSim::new(
+            RegionConfig::new("perf", VmFlavor::m3_medium(), 6, 4),
+            RttfSource::Oracle,
+            9.0,
+            SimRng::new(5),
+        );
+        let mut now = SimTime::ZERO;
+        for step in 0..REQS {
+            if let Some((vm, _)) = region.begin(now) {
+                region.finish(vm);
+            }
+            if step % 300 == 0 {
+                now += Duration::from_secs(25);
+                region.control_tick(now);
+            }
+        }
+        black_box(region.stats());
+    });
+    report.push("region_sim_requests_per_s", REQS as f64 / per_run);
+}
+
+/// One leader `POLICY()` evaluation at 16 regions.
+fn policy_workload(report: &mut Report) {
+    const N: usize = 16;
+    let mut rng = SimRng::new(7);
+    let prev = uniform_fractions(N);
+    let rmttf: Vec<f64> = (0..N).map(|_| rng.uniform(100.0, 1000.0)).collect();
+    let policy = LoadBalancingPolicy::new(PolicyKind::AvailableResources);
+    let mut r = SimRng::new(9);
+    let per_step = time_it(20_000, 9, || {
+        black_box(policy.next_fractions(black_box(&prev), black_box(&rmttf), 100.0, &mut r));
+    });
+    report.push("policy_steps_per_s", 1.0 / per_step);
+}
+
+/// REP-Tree: training on a harvested database, then scalar vs batched
+/// prediction over an era-sized block.
+fn rep_tree_workload(report: &mut Report) {
+    let mut rng = SimRng::new(2016);
+    let db = collect_database(
+        &VmFlavor::m3_medium(),
+        &AnomalyConfig::default(),
+        &FailureSpec::default(),
+        &CollectionConfig::default(),
+        &mut rng,
+    );
+    let per_fit = time_it(4, 5, || {
+        let mut r = SimRng::new(5);
+        black_box(ModelKind::RepTree.fit(black_box(&db), &mut r));
+    });
+    report.push("rep_tree_train_per_s", 1.0 / per_fit);
+
+    let mut r = SimRng::new(5);
+    let AnyModel::RepTree(tree) = ModelKind::RepTree.fit(&db, &mut r) else {
+        unreachable!("RepTree.fit returns a tree");
+    };
+    const ROWS: usize = 256;
+    let rows: Vec<Vec<f64>> = (0..ROWS).map(|i| db.row(i % db.len()).to_vec()).collect();
+    // Scalar baseline is the pre-overhaul API shape: one walk per row with a
+    // collected result vector, the cost every per-era scoring pass used to pay.
+    let scalar = time_it(2000, 9, || {
+        let preds: Vec<f64> = rows
+            .iter()
+            .map(|row| tree.predict_one(black_box(row)))
+            .collect();
+        black_box(preds.iter().sum::<f64>());
+    });
+    let mut out = Vec::with_capacity(ROWS);
+    let batch = time_it(2000, 9, || {
+        tree.predict_batch_into(rows.iter().map(|v| v.as_slice()), &mut out);
+        black_box(out.iter().sum::<f64>());
+    });
+    report.push("rep_tree_predict_scalar_rows_per_s", ROWS as f64 / scalar);
+    report.push("rep_tree_predict_batch_rows_per_s", ROWS as f64 / batch);
+    report.push("rep_tree_predict_batch_speedup", scalar / batch);
+}
+
+/// Wall-clock of the Figure-3 experiment (the workload the acceptance
+/// criterion tracks end to end).
+fn fig3_workload(report: &mut Report) {
+    let cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    let per_run = time_it(3, 5, || {
+        black_box(run_experiment(&cfg));
+    });
+    report.push("fig3_wall_clock_s", per_run);
+}
+
+fn main() {
+    let mut report = Report {
+        entries: Vec::new(),
+    };
+    println!("hot-path throughput report (fixed seeds, release build)\n");
+    queue_workloads(&mut report);
+    simulator_workload(&mut report);
+    region_sim_workload(&mut report);
+    policy_workload(&mut report);
+    rep_tree_workload(&mut report);
+    fig3_workload(&mut report);
+
+    let json = report.to_json();
+    match std::fs::write("BENCH_PR1.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_PR1.json"),
+        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR1.json: {e}"),
+    }
+}

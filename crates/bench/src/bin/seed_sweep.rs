@@ -27,7 +27,11 @@ fn mean_std(xs: &[f64]) -> (f64, f64) {
     (mean, var.sqrt())
 }
 
-fn sweep(label: &str, make: impl Fn(PolicyKind, u64) -> ExperimentConfig + Sync, seeds: u64) -> String {
+fn sweep(
+    label: &str,
+    make: impl Fn(PolicyKind, u64) -> ExperimentConfig + Sync,
+    seeds: u64,
+) -> String {
     println!("\n--- {label} ({seeds} seeds) ---");
     println!(
         "{:<28} {:>16} {:>16} {:>12} {:>12}",

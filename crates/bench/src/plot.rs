@@ -10,12 +10,7 @@
 /// Each series gets its own glyph; overlapping points show the glyph of the
 /// last series drawn. The y-range spans all series jointly (so convergence
 /// of two RMTTF lines is visible as the glyphs meeting).
-pub fn ascii_chart(
-    title: &str,
-    series: &[(&str, &[f64])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn ascii_chart(title: &str, series: &[(&str, &[f64])], width: usize, height: usize) -> String {
     assert!(width >= 10 && height >= 3, "chart too small");
     assert!(!series.is_empty(), "nothing to plot");
     let glyphs = ['*', 'o', '+', 'x', '#', '@'];

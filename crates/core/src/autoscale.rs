@@ -207,12 +207,27 @@ mod tests {
             ..Default::default()
         };
         // Needs cooldown_eras+1 calls before the first action fires.
-        assert_eq!(scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0), ScaleAction::None);
-        assert_eq!(scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0), ScaleAction::None);
-        assert_eq!(scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0), ScaleAction::None);
-        assert_eq!(scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0), ScaleAction::ScaledUp);
+        assert_eq!(
+            scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0),
+            ScaleAction::None
+        );
+        assert_eq!(
+            scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0),
+            ScaleAction::None
+        );
+        assert_eq!(
+            scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0),
+            ScaleAction::None
+        );
+        assert_eq!(
+            scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0),
+            ScaleAction::ScaledUp
+        );
         // Cooldown restarts after the action.
-        assert_eq!(scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0), ScaleAction::None);
+        assert_eq!(
+            scaler.step(&cfg, &mut vmc, t0(), 1.5, 1000.0),
+            ScaleAction::None
+        );
     }
 
     #[test]
@@ -225,8 +240,14 @@ mod tests {
             max_vms: 5,
             ..Default::default()
         };
-        assert_eq!(scaler.step(&cfg, &mut vmc, t0(), 2.0, 1000.0), ScaleAction::ScaledUp);
-        assert_eq!(scaler.step(&cfg, &mut vmc, t0(), 2.0, 1000.0), ScaleAction::None);
+        assert_eq!(
+            scaler.step(&cfg, &mut vmc, t0(), 2.0, 1000.0),
+            ScaleAction::ScaledUp
+        );
+        assert_eq!(
+            scaler.step(&cfg, &mut vmc, t0(), 2.0, 1000.0),
+            ScaleAction::None
+        );
         assert_eq!(vmc.pool().counts().total(), 5);
     }
 

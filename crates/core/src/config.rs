@@ -255,8 +255,12 @@ mod tests {
     #[test]
     fn paper_deployments_validate() {
         for policy in PolicyKind::ALL {
-            ExperimentConfig::two_region_fig3(policy, 1).validate().unwrap();
-            ExperimentConfig::three_region_fig4(policy, 1).validate().unwrap();
+            ExperimentConfig::two_region_fig3(policy, 1)
+                .validate()
+                .unwrap();
+            ExperimentConfig::three_region_fig4(policy, 1)
+                .validate()
+                .unwrap();
         }
     }
 

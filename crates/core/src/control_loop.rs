@@ -82,16 +82,8 @@ impl ControlLoop {
         elector.re_elect(transport.graph());
 
         let workloads = cfg.regions.iter().map(|r| r.workload()).collect();
-        let names = cfg
-            .regions
-            .iter()
-            .map(|r| r.region.name.clone())
-            .collect();
-        let region_costs: Vec<f64> = cfg
-            .regions
-            .iter()
-            .map(|r| r.region.vm_hour_usd)
-            .collect();
+        let names = cfg.regions.iter().map(|r| r.region.name.clone()).collect();
+        let region_costs: Vec<f64> = cfg.regions.iter().map(|r| r.region.vm_hour_usd).collect();
         let policy = LoadBalancingPolicy::new(cfg.policy)
             .with_k(cfg.k)
             .with_noise(cfg.exploration_noise)
@@ -157,7 +149,9 @@ impl ControlLoop {
 
     /// The current election outcome.
     pub fn election(&self) -> &ElectionOutcome {
-        self.elector.current().expect("election ran at construction")
+        self.elector
+            .current()
+            .expect("election ran at construction")
     }
 
     /// The overlay node of the region the leader VMC lives in, as seen from
@@ -535,7 +529,10 @@ mod tests {
             let t = cl.telemetry();
             t.rmttf_spread(15)
         };
-        assert!(spread_before > 1.4, "P1 should be diverged: {spread_before}");
+        assert!(
+            spread_before > 1.4,
+            "P1 should be diverged: {spread_before}"
+        );
         cl.set_policy(PolicyKind::AvailableResources);
         cl.run(50);
         let spread_after = cl.telemetry().rmttf_spread(15);

@@ -32,11 +32,7 @@ pub struct CostReport {
 /// `vm_hour_usd` must be index-aligned with the telemetry's regions.
 /// Standby and rejuvenating VMs are deliberately *not* billed — matching
 /// the stop/start billing model the paper's spare-VM strategy assumes.
-pub fn price_run(
-    tel: &ExperimentTelemetry,
-    vm_hour_usd: &[f64],
-    era: Duration,
-) -> CostReport {
+pub fn price_run(tel: &ExperimentTelemetry, vm_hour_usd: &[f64], era: Duration) -> CostReport {
     assert_eq!(
         vm_hour_usd.len(),
         tel.region_names().len(),

@@ -30,7 +30,10 @@ pub struct RmttfEwma {
 impl RmttfEwma {
     /// Creates an estimator with smoothing factor `β ∈ [0, 1]`.
     pub fn new(beta: f64) -> Self {
-        assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1], got {beta}");
+        assert!(
+            (0.0..=1.0).contains(&beta),
+            "beta must be in [0,1], got {beta}"
+        );
         RmttfEwma { beta, value: None }
     }
 

@@ -120,7 +120,11 @@ mod tests {
         assert_eq!(tel.eras(), 20);
         // Imperfect predictions are fine; the loop must still keep the
         // response time sane and the system serving.
-        assert!(tel.tail_response(10) < 1.5, "resp {}", tel.tail_response(10));
+        assert!(
+            tel.tail_response(10) < 1.5,
+            "resp {}",
+            tel.tail_response(10)
+        );
         assert!(tel.total_completed() > 10_000);
     }
 

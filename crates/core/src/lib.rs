@@ -30,8 +30,8 @@
 
 pub mod autoscale;
 pub mod config;
-pub mod cost;
 pub mod control_loop;
+pub mod cost;
 pub mod ewma;
 pub mod framework;
 pub mod plan;

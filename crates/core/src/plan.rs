@@ -146,7 +146,10 @@ mod tests {
         // Realises the target.
         for (j, want) in target.iter().enumerate() {
             let got = p.realised_share(j);
-            assert!((got - want).abs() < 1e-9, "region {j}: realised {got}, want {want}");
+            assert!(
+                (got - want).abs() < 1e-9,
+                "region {j}: realised {got}, want {want}"
+            );
         }
         let _ = ingress;
     }

@@ -174,9 +174,7 @@ impl LoadBalancingPolicy {
         let raw = match self.kind {
             PolicyKind::SensibleRouting => sensible_routing(rmttf),
             PolicyKind::AvailableResources => available_resources(prev, rmttf, lambda),
-            PolicyKind::Exploration => {
-                self.exploration(prev, rmttf, rng)
-            }
+            PolicyKind::Exploration => self.exploration(prev, rmttf, rng),
             PolicyKind::CostAwareResources => {
                 let q = available_resources(prev, rmttf, lambda);
                 match &self.region_costs {
@@ -267,7 +265,13 @@ fn available_resources(prev: &[f64], rmttf: &[f64], lambda: f64) -> Vec<f64> {
 fn floor_and_normalise(raw: &[f64]) -> Vec<f64> {
     let mut out: Vec<f64> = raw
         .iter()
-        .map(|f| if f.is_finite() { f.max(MIN_FRACTION) } else { MIN_FRACTION })
+        .map(|f| {
+            if f.is_finite() {
+                f.max(MIN_FRACTION)
+            } else {
+                MIN_FRACTION
+            }
+        })
         .collect();
     let total: f64 = out.iter().sum();
     for f in &mut out {
@@ -352,7 +356,10 @@ mod tests {
         let rmttf: Vec<f64> = f.iter().zip(c).map(|(fi, ci)| ci / (fi * lambda)).collect();
         // f* ∝ √C → f0/f1 = 2, RMTTF0/RMTTF1 = √(C0/C1) = 2 ≠ 1.
         assert!((f[0] / f[1] - 2.0).abs() < 0.05, "{f:?}");
-        assert!(rmttf[0] / rmttf[1] > 1.8, "RMTTFs unexpectedly equalised: {rmttf:?}");
+        assert!(
+            rmttf[0] / rmttf[1] > 1.8,
+            "RMTTFs unexpectedly equalised: {rmttf:?}"
+        );
     }
 
     #[test]
@@ -395,7 +402,10 @@ mod tests {
                 vec![100.0],
             ] {
                 let prev = uniform_fractions(rmttf.len());
-                let sane: Vec<f64> = rmttf.iter().map(|r| if r.is_finite() { *r } else { 1e7 }).collect();
+                let sane: Vec<f64> = rmttf
+                    .iter()
+                    .map(|r| if r.is_finite() { *r } else { 1e7 })
+                    .collect();
                 let f = p.next_fractions(&prev, &sane, 50.0, &mut rng);
                 assert_simplex(&f);
             }

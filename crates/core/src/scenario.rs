@@ -129,7 +129,10 @@ mod tests {
     #[test]
     fn actions_are_kept_sorted() {
         let mut sc = Scenario::none();
-        sc.push(t(100), ScenarioAction::SwitchPolicy(PolicyKind::Exploration));
+        sc.push(
+            t(100),
+            ScenarioAction::SwitchPolicy(PolicyKind::Exploration),
+        );
         sc.push(t(50), ScenarioAction::AddVm { region: 0 });
         let instants: Vec<u64> = sc.pending().iter().map(|a| a.at.as_micros()).collect();
         assert!(instants.windows(2).all(|w| w[0] <= w[1]));
@@ -138,9 +141,18 @@ mod tests {
     #[test]
     fn drain_due_takes_only_past_actions() {
         let mut sc = Scenario::new(vec![
-            ScheduledAction { at: t(10), action: ScenarioAction::AddVm { region: 0 } },
-            ScheduledAction { at: t(20), action: ScenarioAction::AddVm { region: 1 } },
-            ScheduledAction { at: t(30), action: ScenarioAction::AddVm { region: 0 } },
+            ScheduledAction {
+                at: t(10),
+                action: ScenarioAction::AddVm { region: 0 },
+            },
+            ScheduledAction {
+                at: t(20),
+                action: ScenarioAction::AddVm { region: 1 },
+            },
+            ScheduledAction {
+                at: t(30),
+                action: ScenarioAction::AddVm { region: 0 },
+            },
         ]);
         let due = sc.drain_due(t(20));
         assert_eq!(due.len(), 2);
@@ -154,7 +166,10 @@ mod tests {
     fn validation_checks_region_indices() {
         let sc = Scenario::new(vec![ScheduledAction {
             at: t(1),
-            action: ScenarioAction::SetTargetActive { region: 5, target: 2 },
+            action: ScenarioAction::SetTargetActive {
+                region: 5,
+                target: 2,
+            },
         }]);
         assert!(sc.validate(2).is_err());
         assert!(sc.validate(6).is_ok());

@@ -102,7 +102,11 @@ impl ExperimentTelemetry {
         plan_churn: f64,
         remote_fraction: f64,
     ) {
-        assert_eq!(regions.len(), self.region_names.len(), "one record per region");
+        assert_eq!(
+            regions.len(),
+            self.region_names.len(),
+            "one record per region"
+        );
         for (i, r) in regions.iter().enumerate() {
             self.rmttf[i].push(t, r.rmttf);
             self.fraction[i].push(t, r.fraction);
@@ -282,7 +286,12 @@ impl ExperimentTelemetry {
     /// Renders the full telemetry as one CSV table (figure regeneration).
     pub fn to_csv(&self) -> String {
         let mut names: Vec<String> = Vec::new();
-        for group in [&self.rmttf, &self.fraction, &self.response, &self.active_vms] {
+        for group in [
+            &self.rmttf,
+            &self.fraction,
+            &self.response,
+            &self.active_vms,
+        ] {
             for s in group.iter() {
                 names.push(s.name().to_string());
             }
@@ -295,7 +304,12 @@ impl ExperimentTelemetry {
         for e in 0..self.eras {
             let t = self.global_response.points()[e].t;
             let mut row = Vec::new();
-            for group in [&self.rmttf, &self.fraction, &self.response, &self.active_vms] {
+            for group in [
+                &self.rmttf,
+                &self.fraction,
+                &self.response,
+                &self.active_vms,
+            ] {
                 for s in group.iter() {
                     row.push(s.points()[e].value);
                 }
@@ -337,8 +351,22 @@ mod tests {
     #[test]
     fn records_accumulate() {
         let mut tel = two_region();
-        tel.record_era(t(30), &[record(500.0, 0.7), record(480.0, 0.3)], 0.12, 60.0, 0.0, 0.1);
-        tel.record_era(t(60), &[record(510.0, 0.72), record(490.0, 0.28)], 0.11, 61.0, 0.05, 0.1);
+        tel.record_era(
+            t(30),
+            &[record(500.0, 0.7), record(480.0, 0.3)],
+            0.12,
+            60.0,
+            0.0,
+            0.1,
+        );
+        tel.record_era(
+            t(60),
+            &[record(510.0, 0.72), record(490.0, 0.28)],
+            0.11,
+            61.0,
+            0.05,
+            0.1,
+        );
         assert_eq!(tel.eras(), 2);
         assert_eq!(tel.total_proactive(), 4);
         assert_eq!(tel.total_completed(), 400);
@@ -351,8 +379,22 @@ mod tests {
         let mut converged = two_region();
         let mut diverged = two_region();
         for e in 1..=20 {
-            converged.record_era(t(e * 30), &[record(500.0, 0.7), record(505.0, 0.3)], 0.1, 60.0, 0.0, 0.1);
-            diverged.record_era(t(e * 30), &[record(650.0, 0.7), record(310.0, 0.3)], 0.1, 60.0, 0.0, 0.1);
+            converged.record_era(
+                t(e * 30),
+                &[record(500.0, 0.7), record(505.0, 0.3)],
+                0.1,
+                60.0,
+                0.0,
+                0.1,
+            );
+            diverged.record_era(
+                t(e * 30),
+                &[record(650.0, 0.7), record(310.0, 0.3)],
+                0.1,
+                60.0,
+                0.0,
+                0.1,
+            );
         }
         assert!(converged.rmttf_spread(10) < 1.05);
         assert!(diverged.rmttf_spread(10) > 1.9);
@@ -363,9 +405,23 @@ mod tests {
         let mut stable = two_region();
         let mut jumpy = two_region();
         for e in 1..=20u64 {
-            stable.record_era(t(e * 30), &[record(500.0, 0.7), record(500.0, 0.3)], 0.1, 60.0, 0.0, 0.1);
+            stable.record_era(
+                t(e * 30),
+                &[record(500.0, 0.7), record(500.0, 0.3)],
+                0.1,
+                60.0,
+                0.0,
+                0.1,
+            );
             let f = if e % 2 == 0 { 0.8 } else { 0.4 };
-            jumpy.record_era(t(e * 30), &[record(500.0, f), record(500.0, 1.0 - f)], 0.1, 60.0, 0.0, 0.1);
+            jumpy.record_era(
+                t(e * 30),
+                &[record(500.0, f), record(500.0, 1.0 - f)],
+                0.1,
+                60.0,
+                0.0,
+                0.1,
+            );
         }
         assert!(jumpy.fraction_oscillation(16) > 5.0 * stable.fraction_oscillation(16));
         assert!(jumpy.fraction_max_step(16) >= 0.39);
@@ -377,10 +433,24 @@ mod tests {
         let mut tel = two_region();
         // Diverged for 5 eras, then settled.
         for e in 1..=5u64 {
-            tel.record_era(t(e * 30), &[record(800.0, 0.5), record(300.0, 0.5)], 0.1, 60.0, 0.0, 0.1);
+            tel.record_era(
+                t(e * 30),
+                &[record(800.0, 0.5), record(300.0, 0.5)],
+                0.1,
+                60.0,
+                0.0,
+                0.1,
+            );
         }
         for e in 6..=15u64 {
-            tel.record_era(t(e * 30), &[record(510.0, 0.7), record(500.0, 0.3)], 0.1, 60.0, 0.0, 0.1);
+            tel.record_era(
+                t(e * 30),
+                &[record(510.0, 0.7), record(500.0, 0.3)],
+                0.1,
+                60.0,
+                0.0,
+                0.1,
+            );
         }
         // The 5-era smoothing window blurs the regime boundary by a couple
         // of eras.
@@ -391,7 +461,14 @@ mod tests {
         // A never-settling run reports None.
         let mut never = two_region();
         for e in 1..=10u64 {
-            never.record_era(t(e * 30), &[record(800.0, 0.5), record(300.0, 0.5)], 0.1, 60.0, 0.0, 0.1);
+            never.record_era(
+                t(e * 30),
+                &[record(800.0, 0.5), record(300.0, 0.5)],
+                0.1,
+                60.0,
+                0.0,
+                0.1,
+            );
         }
         assert_eq!(never.convergence_era(1.2), None);
     }
@@ -399,10 +476,24 @@ mod tests {
     #[test]
     fn csv_contains_all_columns_and_rows() {
         let mut tel = two_region();
-        tel.record_era(t(30), &[record(500.0, 0.7), record(480.0, 0.3)], 0.12, 60.0, 0.0, 0.1);
+        tel.record_era(
+            t(30),
+            &[record(500.0, 0.7), record(480.0, 0.3)],
+            0.12,
+            60.0,
+            0.0,
+            0.1,
+        );
         let csv = tel.to_csv();
         let header = csv.lines().next().unwrap();
-        for col in ["r1_rmttf", "r3_f", "r1_resp", "r3_active", "global_resp", "lambda"] {
+        for col in [
+            "r1_rmttf",
+            "r3_f",
+            "r1_resp",
+            "r3_active",
+            "global_resp",
+            "lambda",
+        ] {
             assert!(header.contains(col), "missing {col} in {header}");
         }
         assert_eq!(csv.lines().count(), 2);

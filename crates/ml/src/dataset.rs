@@ -111,7 +111,10 @@ impl Dataset {
             assert!(j < self.width(), "feature index {j} out of range");
         }
         Dataset {
-            feature_names: keep.iter().map(|&j| self.feature_names[j].clone()).collect(),
+            feature_names: keep
+                .iter()
+                .map(|&j| self.feature_names[j].clone())
+                .collect(),
             x: self
                 .x
                 .iter()
@@ -230,7 +233,12 @@ mod tests {
         let (train, test) = ds.split(0.7, &mut rng);
         assert_eq!(train.len(), 7);
         assert_eq!(test.len(), 3);
-        let mut all: Vec<f64> = train.targets().iter().chain(test.targets()).copied().collect();
+        let mut all: Vec<f64> = train
+            .targets()
+            .iter()
+            .chain(test.targets())
+            .copied()
+            .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut expect: Vec<f64> = ds.targets().to_vec();
         expect.sort_by(|a, b| a.partial_cmp(b).unwrap());

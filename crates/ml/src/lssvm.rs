@@ -76,7 +76,11 @@ impl LsSvm {
         let x_scaler = StandardScaler::fit(ds.rows());
         let y_scaler = TargetScaler::fit(ds.targets());
         let xs = x_scaler.transform(ds.rows());
-        let ys: Vec<f64> = ds.targets().iter().map(|&y| y_scaler.transform(y)).collect();
+        let ys: Vec<f64> = ds
+            .targets()
+            .iter()
+            .map(|&y| y_scaler.transform(y))
+            .collect();
 
         let sigma = cfg.sigma.unwrap_or_else(|| median_distance(&xs, rng));
         let n = xs.len();
@@ -216,7 +220,10 @@ mod tests {
             let x = rng.uniform(0.0, 1.0);
             ds.push(vec![x], 2.0 * x);
         }
-        let cfg = LsSvmConfig { max_support: 100, ..Default::default() };
+        let cfg = LsSvmConfig {
+            max_support: 100,
+            ..Default::default()
+        };
         let m = LsSvm::fit(&ds, &cfg, &mut SimRng::new(4));
         assert_eq!(m.support_count(), 100);
         assert!((m.predict_one(&[0.5]) - 1.0).abs() < 0.1);
@@ -228,7 +235,10 @@ mod tests {
         for i in 0..50 {
             ds.push(vec![i as f64], i as f64);
         }
-        let cfg = LsSvmConfig { sigma: Some(2.5), ..Default::default() };
+        let cfg = LsSvmConfig {
+            sigma: Some(2.5),
+            ..Default::default()
+        };
         let m = LsSvm::fit(&ds, &cfg, &mut SimRng::new(5));
         assert_eq!(m.sigma(), 2.5);
     }
@@ -243,7 +253,10 @@ mod tests {
         }
         let tight = LsSvm::fit(
             &ds,
-            &LsSvmConfig { gamma: 1e-4, ..Default::default() },
+            &LsSvmConfig {
+                gamma: 1e-4,
+                ..Default::default()
+            },
             &mut SimRng::new(7),
         );
         // γ→0 forces α→0: prediction collapses toward the bias ≈ mean.
@@ -257,7 +270,11 @@ mod tests {
         for (x, y) in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0), (3.0, 5.0)] {
             ds.push(vec![x], y);
         }
-        let cfg = LsSvmConfig { gamma: 1e6, sigma: Some(0.5), ..Default::default() };
+        let cfg = LsSvmConfig {
+            gamma: 1e6,
+            sigma: Some(0.5),
+            ..Default::default()
+        };
         let m = LsSvm::fit(&ds, &cfg, &mut SimRng::new(8));
         for (x, y) in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0), (3.0, 5.0)] {
             let p = m.predict_one(&[x]);

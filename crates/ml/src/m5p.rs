@@ -92,8 +92,7 @@ impl M5Prime {
                 let child_n = self.nodes[child].n as f64;
                 // Quinlan smoothing toward this node's own model.
                 let node_pred = node.model.predict_one(x);
-                (child_n * child_pred + self.smoothing_k * node_pred)
-                    / (child_n + self.smoothing_k)
+                (child_n * child_pred + self.smoothing_k * node_pred) / (child_n + self.smoothing_k)
             }
         }
     }
@@ -174,9 +173,7 @@ struct M5Builder<'a> {
 impl M5Builder<'_> {
     fn build(&mut self, indices: &[usize], depth: usize) -> usize {
         let model = RidgeRegression::fit(&self.ds.subset(indices), self.cfg.leaf_lambda);
-        let split = if depth < self.cfg.max_depth
-            && indices.len() >= self.cfg.min_samples_split
-        {
+        let split = if depth < self.cfg.max_depth && indices.len() >= self.cfg.min_samples_split {
             self.best_split(indices)
         } else {
             None
@@ -249,8 +246,8 @@ impl M5Builder<'_> {
                 let nr = n - nl;
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 if best.as_ref().is_none_or(|(_, _, b)| sse < *b) {
                     best = Some((feature, 0.5 * (x_here + x_next), sse));
                 }
@@ -274,7 +271,11 @@ mod tests {
         let mut ds = Dataset::new(["x"]);
         for _ in 0..n {
             let x = rng.uniform(0.0, 2.0);
-            let y = if x < 1.0 { 3.0 * x } else { 10.0 - 4.0 * (x - 1.0) };
+            let y = if x < 1.0 {
+                3.0 * x
+            } else {
+                10.0 - 4.0 * (x - 1.0)
+            };
             ds.push(vec![x], y + rng.normal(0.0, 0.05));
         }
         ds
@@ -288,7 +289,11 @@ mod tests {
         let mut m5_err = 0.0;
         let mut line_err = 0.0;
         for x in [0.1, 0.4, 0.9, 1.1, 1.6, 1.9] {
-            let truth = if x < 1.0 { 3.0 * x } else { 10.0 - 4.0 * (x - 1.0) };
+            let truth = if x < 1.0 {
+                3.0 * x
+            } else {
+                10.0 - 4.0 * (x - 1.0)
+            };
             m5_err += (m5.predict_one(&[x]) - truth).abs();
             line_err += (line.predict_one(&[x]) - truth).abs();
         }
@@ -325,7 +330,10 @@ mod tests {
     #[test]
     fn respects_depth_limit() {
         let ds = piecewise_ds(500, 4);
-        let cfg = M5Config { max_depth: 0, ..Default::default() };
+        let cfg = M5Config {
+            max_depth: 0,
+            ..Default::default()
+        };
         let m5 = M5Prime::fit(&ds, &cfg);
         assert_eq!(m5.leaf_count(), 1);
     }

@@ -43,14 +43,24 @@ impl RegressionMetrics {
         let mean = truth.iter().sum::<f64>() / n;
         let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
         let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
-        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 };
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            0.0
+        };
         const EPS: f64 = 1e-9;
         let (ape_sum, ape_n) = truth
             .iter()
             .zip(pred)
             .filter(|(t, _)| t.abs() > EPS)
-            .fold((0.0, 0usize), |(s, c), (t, p)| (s + ((t - p) / t).abs(), c + 1));
-        let mape = if ape_n > 0 { ape_sum / ape_n as f64 } else { 0.0 };
+            .fold((0.0, 0usize), |(s, c), (t, p)| {
+                (s + ((t - p) / t).abs(), c + 1)
+            });
+        let mape = if ape_n > 0 {
+            ape_sum / ape_n as f64
+        } else {
+            0.0
+        };
         RegressionMetrics {
             mae,
             rmse: mse.sqrt(),

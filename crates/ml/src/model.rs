@@ -145,6 +145,20 @@ impl Regressor for AnyModel {
         }
     }
 
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        // Dispatch the enum once per batch, not once per row; the tree
+        // additionally gets its compact-arena batch walk.
+        match self {
+            AnyModel::Linear(m) => m.predict(rows),
+            AnyModel::Ridge(m) => m.predict(rows),
+            AnyModel::Lasso(m) => m.predict(rows),
+            AnyModel::RepTree(m) => m.predict_batch(rows),
+            AnyModel::M5P(m) => m.predict(rows),
+            AnyModel::Svr(m) => m.predict(rows),
+            AnyModel::LsSvm(m) => m.predict(rows),
+        }
+    }
+
     fn name(&self) -> &'static str {
         self.kind().name()
     }

@@ -97,7 +97,55 @@ impl RepTree {
         if !prune.is_empty() {
             tree.reduced_error_prune(&prune);
         }
+        tree.compact();
         tree
+    }
+
+    /// Rewrites the arena in pre-order DFS layout with the root at index 0:
+    /// a node's left child is always the next slot, subtrees are
+    /// contiguous, and the orphan nodes left behind by pruning are dropped.
+    /// Prediction walks then move mostly forward through one cache-resident
+    /// array instead of hopping across the build-order arena.
+    fn compact(&mut self) {
+        fn copy(nodes: &[Node], idx: usize, out: &mut Vec<Node>) -> usize {
+            let slot = out.len();
+            match &nodes[idx] {
+                Node::Leaf { value } => out.push(Node::Leaf { value: *value }),
+                Node::Split {
+                    feature,
+                    threshold,
+                    mean,
+                    gain,
+                    left,
+                    right,
+                } => {
+                    let (feature, threshold, mean, gain, left, right) =
+                        (*feature, *threshold, *mean, *gain, *left, *right);
+                    out.push(Node::Leaf { value: 0.0 }); // placeholder
+                    let l = copy(nodes, left, out);
+                    let r = copy(nodes, right, out);
+                    out[slot] = Node::Split {
+                        feature,
+                        threshold,
+                        mean,
+                        gain,
+                        left: l,
+                        right: r,
+                    };
+                }
+            }
+            slot
+        }
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let root = copy(&self.nodes, self.root, &mut out);
+        self.nodes = out;
+        self.root = root;
+    }
+
+    /// Arena size. After [`RepTree::fit`] the arena is compact: exactly the
+    /// reachable nodes, `2 * leaf_count() - 1`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Predicts one row.
@@ -113,10 +161,58 @@ impl RepTree {
                     right,
                     ..
                 } => {
-                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                    idx = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
+    }
+
+    /// Predicts many rows in one pass over the compact arena, appending one
+    /// prediction per row to `out` (which is cleared first). Accepts any
+    /// iterator of feature slices so callers can feed packed scratch
+    /// buffers without materialising a `Vec<Vec<f64>>`.
+    pub fn predict_batch_into<'a, I>(&self, rows: I, out: &mut Vec<f64>)
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        out.clear();
+        let nodes = &self.nodes;
+        let root = self.root;
+        // `extend` keeps the exact-size fast path of the iterator pipeline
+        // (no per-row capacity check) while reusing the caller's allocation.
+        out.extend(rows.into_iter().map(|x| {
+            let mut idx = root;
+            loop {
+                match &nodes[idx] {
+                    Node::Leaf { value } => return *value,
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                        ..
+                    } => {
+                        idx = if x[*feature] <= *threshold {
+                            *left
+                        } else {
+                            *right
+                        };
+                    }
+                }
+            }
+        }));
+    }
+
+    /// Predicts many rows. Equivalent to mapping [`RepTree::predict_one`],
+    /// but dispatches once and walks the compact arena back to back.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_batch_into(rows.iter().map(|r| r.as_slice()), &mut out);
+        out
     }
 
     /// Number of leaves.
@@ -145,7 +241,14 @@ impl RepTree {
     }
 
     fn accumulate_importance(&self, idx: usize, imp: &mut [f64]) {
-        if let Node::Split { feature, gain, left, right, .. } = &self.nodes[idx] {
+        if let Node::Split {
+            feature,
+            gain,
+            left,
+            right,
+            ..
+        } = &self.nodes[idx]
+        {
             if *feature < imp.len() {
                 imp[*feature] += gain.max(0.0);
             }
@@ -157,9 +260,7 @@ impl RepTree {
     fn count_leaves(&self, idx: usize) -> usize {
         match &self.nodes[idx] {
             Node::Leaf { .. } => 1,
-            Node::Split { left, right, .. } => {
-                self.count_leaves(*left) + self.count_leaves(*right)
-            }
+            Node::Split { left, right, .. } => self.count_leaves(*left) + self.count_leaves(*right),
         }
     }
 
@@ -230,6 +331,9 @@ impl crate::model::Regressor for RepTree {
     fn predict_one(&self, x: &[f64]) -> f64 {
         RepTree::predict_one(self, x)
     }
+    fn predict(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        self.predict_batch(rows)
+    }
     fn name(&self) -> &'static str {
         "rep-tree"
     }
@@ -287,7 +391,9 @@ impl Builder<'_> {
 
     fn is_pure(&self, indices: &[usize]) -> bool {
         let first = self.ds.target(indices[0]);
-        indices.iter().all(|&i| (self.ds.target(i) - first).abs() < 1e-12)
+        indices
+            .iter()
+            .all(|&i| (self.ds.target(i) - first).abs() < 1e-12)
     }
 
     /// Best `(feature, threshold, sse_reduction)`, scanning sorted values
@@ -335,8 +441,8 @@ impl Builder<'_> {
                 }
                 let right_sum = total_sum - left_sum;
                 let right_sq = total_sq - left_sq;
-                let sse = (left_sq - left_sum * left_sum / nl)
-                    + (right_sq - right_sum * right_sum / nr);
+                let sse =
+                    (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
                 if best.as_ref().is_none_or(|(_, _, b)| sse < *b) {
                     best = Some((feature, 0.5 * (x_here + x_next), sse));
                 }
@@ -387,7 +493,10 @@ mod tests {
         }
         let unpruned = RepTree::fit(
             &ds,
-            &RepTreeConfig { prune_fraction: 0.0, ..Default::default() },
+            &RepTreeConfig {
+                prune_fraction: 0.0,
+                ..Default::default()
+            },
             &mut SimRng::new(4),
         );
         let pruned = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(4));
@@ -402,7 +511,11 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let ds = step_ds(500, 5);
-        let cfg = RepTreeConfig { max_depth: 2, prune_fraction: 0.0, ..Default::default() };
+        let cfg = RepTreeConfig {
+            max_depth: 2,
+            prune_fraction: 0.0,
+            ..Default::default()
+        };
         let tree = RepTree::fit(&ds, &cfg, &mut SimRng::new(6));
         assert!(tree.depth() <= 2);
         assert!(tree.leaf_count() <= 4);
@@ -490,6 +603,39 @@ mod tests {
         }
         let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(23));
         assert_eq!(tree.feature_importance(1), vec![0.0]);
+    }
+
+    #[test]
+    fn arena_is_compact_after_pruning() {
+        // Pure-noise target prunes aggressively, orphaning most of the
+        // grown arena; compaction must drop every orphan.
+        let mut rng = SimRng::new(31);
+        let mut ds = Dataset::new(["x1", "x2"]);
+        for _ in 0..400 {
+            ds.push(
+                vec![rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)],
+                rng.normal(0.0, 1.0),
+            );
+        }
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(32));
+        assert_eq!(tree.node_count(), 2 * tree.leaf_count() - 1);
+    }
+
+    #[test]
+    fn batch_predictions_match_scalar_walks() {
+        let ds = step_ds(500, 41);
+        let tree = RepTree::fit(&ds, &RepTreeConfig::default(), &mut SimRng::new(42));
+        let mut rng = SimRng::new(43);
+        let rows: Vec<Vec<f64>> = (0..257).map(|_| vec![rng.uniform(-0.5, 1.5)]).collect();
+        let batch = tree.predict_batch(&rows);
+        assert_eq!(batch.len(), rows.len());
+        for (row, b) in rows.iter().zip(&batch) {
+            assert_eq!(*b, tree.predict_one(row), "row {row:?}");
+        }
+        // The scratch-reusing entry point clears and refills.
+        let mut out = vec![f64::NAN; 3];
+        tree.predict_batch_into(rows.iter().map(|r| r.as_slice()), &mut out);
+        assert_eq!(out, batch);
     }
 
     #[test]

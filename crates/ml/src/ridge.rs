@@ -94,7 +94,10 @@ mod tests {
         let heavy = RidgeRegression::fit(&ds, 100.0);
         let light_norm: f64 = light.weights().iter().map(|w| w * w).sum();
         let heavy_norm: f64 = heavy.weights().iter().map(|w| w * w).sum();
-        assert!(heavy_norm < light_norm * 0.5, "{heavy_norm} !< {light_norm}");
+        assert!(
+            heavy_norm < light_norm * 0.5,
+            "{heavy_norm} !< {light_norm}"
+        );
     }
 
     #[test]

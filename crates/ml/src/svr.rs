@@ -47,11 +47,18 @@ impl LinearSvr {
     /// Fits by averaged SGD. `rng` shuffles the sample order each epoch.
     pub fn fit(ds: &Dataset, cfg: &SvrConfig, rng: &mut SimRng) -> Self {
         assert!(!ds.is_empty(), "cannot fit on empty dataset");
-        assert!(cfg.epsilon >= 0.0 && cfg.lambda > 0.0 && cfg.epochs > 0, "bad SVR config");
+        assert!(
+            cfg.epsilon >= 0.0 && cfg.lambda > 0.0 && cfg.epochs > 0,
+            "bad SVR config"
+        );
         let x_scaler = StandardScaler::fit(ds.rows());
         let y_scaler = TargetScaler::fit(ds.targets());
         let xs = x_scaler.transform(ds.rows());
-        let ys: Vec<f64> = ds.targets().iter().map(|&y| y_scaler.transform(y)).collect();
+        let ys: Vec<f64> = ds
+            .targets()
+            .iter()
+            .map(|&y| y_scaler.transform(y))
+            .collect();
 
         let n = xs.len();
         let p = ds.width();
@@ -197,7 +204,10 @@ mod tests {
         // With ε larger than the target spread nothing is penalised, so the
         // model stays near zero (i.e. predicts the mean after unscaling).
         let ds = linear_ds(300, 0.1, 8);
-        let cfg = SvrConfig { epsilon: 10.0, ..Default::default() };
+        let cfg = SvrConfig {
+            epsilon: 10.0,
+            ..Default::default()
+        };
         let m = LinearSvr::fit(&ds, &cfg, &mut SimRng::new(9));
         let p = m.predict_one(&[0.0, 0.0]);
         assert!((p - ds.target_mean()).abs() < 1.0, "{p}");
@@ -207,7 +217,10 @@ mod tests {
     #[should_panic(expected = "bad SVR config")]
     fn zero_epochs_panics() {
         let ds = linear_ds(10, 0.0, 10);
-        let cfg = SvrConfig { epochs: 0, ..Default::default() };
+        let cfg = SvrConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         let _ = LinearSvr::fit(&ds, &cfg, &mut SimRng::new(11));
     }
 }

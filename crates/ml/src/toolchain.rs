@@ -128,6 +128,44 @@ impl RttfPredictor {
         self.model.predict_one(&projected).max(0.0)
     }
 
+    /// Batch variant of [`RttfPredictor::predict`]: projects every full
+    /// feature row into one packed scratch buffer, predicts in a single
+    /// batched pass (the tree walks its compact arena back to back), and
+    /// clamps exactly like the scalar path. `out` is cleared and refilled
+    /// index-aligned with the input rows.
+    pub fn predict_batch_into<'a, I>(&self, full_rows: I, out: &mut Vec<f64>)
+    where
+        I: IntoIterator<Item = &'a [f64]>,
+    {
+        let width = self.selected.len();
+        let mut rows = 0usize;
+        let mut packed: Vec<f64> = Vec::new();
+        for row in full_rows {
+            packed.extend(self.selected.iter().map(|&j| row[j]));
+            rows += 1;
+        }
+        out.clear();
+        if width == 0 {
+            // Degenerate projection: every row predicts the empty-slice value.
+            out.extend((0..rows).map(|_| self.model.predict_one(&[]).max(0.0)));
+            return;
+        }
+        match &self.model {
+            AnyModel::RepTree(m) => m.predict_batch_into(packed.chunks_exact(width), out),
+            m => out.extend(packed.chunks_exact(width).map(|p| m.predict_one(p))),
+        }
+        for v in out.iter_mut() {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// Batch variant of [`RttfPredictor::predict`] returning a fresh vector.
+    pub fn predict_batch(&self, full_rows: &[Vec<f64>]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.predict_batch_into(full_rows.iter().map(|r| r.as_slice()), &mut out);
+        out
+    }
+
     /// Which family the deployed model belongs to.
     pub fn kind(&self) -> ModelKind {
         self.model.kind()
@@ -143,7 +181,11 @@ impl F2pmToolchain {
     /// Runs the pipeline on a feature database. Returns the deployable
     /// predictor (best family) and the full report.
     pub fn run(&self, db: &Dataset, rng: &mut SimRng) -> (RttfPredictor, F2pmReport) {
-        assert!(db.len() >= 20, "feature database too small ({} rows)", db.len());
+        assert!(
+            db.len() >= 20,
+            "feature database too small ({} rows)",
+            db.len()
+        );
         assert!(!self.models.is_empty(), "no model families configured");
 
         // 1. Lasso feature selection on the full database.
@@ -220,8 +262,8 @@ mod tests {
             let n1 = rng.uniform(0.0, 1.0);
             let n2 = rng.uniform(0.0, 1.0);
             // RTTF shrinks as resident/threads grow.
-            let rttf = (5000.0 - resident - 2.0 * threads - 3.0 * swap).max(0.0)
-                + rng.normal(0.0, 20.0);
+            let rttf =
+                (5000.0 - resident - 2.0 * threads - 3.0 * swap).max(0.0) + rng.normal(0.0, 20.0);
             db.push(vec![resident, swap, threads, n1, n2], rttf);
         }
         db
@@ -253,6 +295,36 @@ mod tests {
         // Far beyond exhaustion: raw model would go negative.
         let p = predictor.predict(&[10_000.0, 500.0, 2000.0, 0.0, 0.0]);
         assert!(p >= 0.0);
+    }
+
+    #[test]
+    fn batch_prediction_matches_scalar_path() {
+        let db = rttf_db(400, 15);
+        // Force the deployed model to be the tree so the compact-arena
+        // batch walk is the path under test.
+        let tc = F2pmToolchain {
+            models: vec![ModelKind::RepTree],
+            ..Default::default()
+        };
+        let (predictor, _) = tc.run(&db, &mut SimRng::new(16));
+        assert_eq!(predictor.kind(), ModelKind::RepTree);
+        let mut rng = SimRng::new(17);
+        let rows: Vec<Vec<f64>> = (0..123)
+            .map(|_| {
+                vec![
+                    rng.uniform(500.0, 4000.0),
+                    rng.uniform(0.0, 500.0),
+                    rng.uniform(90.0, 900.0),
+                    rng.uniform(0.0, 1.0),
+                    rng.uniform(0.0, 1.0),
+                ]
+            })
+            .collect();
+        let batch = predictor.predict_batch(&rows);
+        assert_eq!(batch.len(), rows.len());
+        for (row, b) in rows.iter().zip(&batch) {
+            assert_eq!(*b, predictor.predict(row));
+        }
     }
 
     #[test]

@@ -45,10 +45,7 @@ where
     assert!(!candidates.is_empty(), "empty candidate grid");
     let folds = ds.k_folds(k, rng);
     // One deterministic RNG stream per candidate.
-    let jobs: Vec<(C, SimRng)> = candidates
-        .into_iter()
-        .map(|c| (c, rng.split()))
-        .collect();
+    let jobs: Vec<(C, SimRng)> = candidates.into_iter().map(|c| (c, rng.split())).collect();
 
     let scores: Vec<(C, f64)> = jobs
         .into_par_iter()

@@ -109,7 +109,10 @@ pub fn cross_validate(kind: ModelKind, ds: &Dataset, k: usize, rng: &mut SimRng)
             evaluate(&model, val)
         })
         .collect();
-    CvResult { kind, folds: results }
+    CvResult {
+        kind,
+        folds: results,
+    }
 }
 
 #[cfg(test)]

@@ -117,10 +117,7 @@ impl OverlayGraph {
     pub fn link_usable(&self, x: NodeId, y: NodeId) -> bool {
         self.is_alive(x)
             && self.is_alive(y)
-            && self
-                .adj
-                .get(&x)
-                .is_some_and(|nbrs| nbrs.contains_key(&y))
+            && self.adj.get(&x).is_some_and(|nbrs| nbrs.contains_key(&y))
             && !self.failed_links.contains(&LinkId::new(x, y))
     }
 

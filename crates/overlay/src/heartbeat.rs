@@ -59,7 +59,11 @@ pub struct FailureDetector {
 impl FailureDetector {
     /// Creates a detector for the given peers; every peer starts trusted
     /// with a grace period of one timeout from `now`.
-    pub fn new(cfg: HeartbeatConfig, peers: impl IntoIterator<Item = NodeId>, now: SimTime) -> Self {
+    pub fn new(
+        cfg: HeartbeatConfig,
+        peers: impl IntoIterator<Item = NodeId>,
+        now: SimTime,
+    ) -> Self {
         cfg.validate().expect("invalid heartbeat config");
         FailureDetector {
             cfg,

@@ -84,7 +84,10 @@ pub fn dijkstra(g: &OverlayGraph, src: NodeId, dst: NodeId) -> Option<Route> {
         return None;
     }
     if src == dst {
-        return Some(Route { path: vec![src], latency: Duration::ZERO });
+        return Some(Route {
+            path: vec![src],
+            latency: Duration::ZERO,
+        });
     }
     let mut dist: BTreeMap<NodeId, Duration> = BTreeMap::new();
     let mut prev: BTreeMap<NodeId, NodeId> = BTreeMap::new();

@@ -41,10 +41,9 @@ impl BalancerStrategy {
         }
         let raw: Vec<f64> = match self {
             BalancerStrategy::EqualShare => vec![1.0; n],
-            BalancerStrategy::HealthWeighted => vms
-                .iter()
-                .map(|vm| rttf_of(vm).clamp(1e-6, 1e9))
-                .collect(),
+            BalancerStrategy::HealthWeighted => {
+                vms.iter().map(|vm| rttf_of(vm).clamp(1e-6, 1e9)).collect()
+            }
             BalancerStrategy::CapacityWeighted => vms
                 .iter()
                 .map(|vm| {
@@ -117,15 +116,10 @@ mod tests {
         let mut vms = [mk_vm(0, 1), mk_vm(1, 2)];
         // Damage VM 0 heavily.
         for era in 0..6 {
-            vms[0].process_era(
-                SimTime::from_secs(era * 30),
-                Duration::from_secs(30),
-                25.0,
-            );
+            vms[0].process_era(SimTime::from_secs(era * 30), Duration::from_secs(30), 25.0);
         }
         let refs: Vec<&Vm> = vms.iter().collect();
-        let s =
-            BalancerStrategy::HealthWeighted.shares(&refs, t0(), 10.0, |v| v.true_rttf(10.0));
+        let s = BalancerStrategy::HealthWeighted.shares(&refs, t0(), 10.0, |v| v.true_rttf(10.0));
         assert!(s[1] > s[0], "fresh VM should get more: {s:?}");
     }
 
@@ -134,18 +128,13 @@ mod tests {
         let mut vms = [mk_vm(0, 1), mk_vm(1, 2)];
         // Push VM 0 into swap so its service rate drops.
         for era in 0..12 {
-            vms[0].process_era(
-                SimTime::from_secs(era * 30),
-                Duration::from_secs(30),
-                25.0,
-            );
+            vms[0].process_era(SimTime::from_secs(era * 30), Duration::from_secs(30), 25.0);
             if !vms[0].is_active() {
                 break;
             }
         }
         let refs: Vec<&Vm> = vms.iter().collect();
-        let s =
-            BalancerStrategy::CapacityWeighted.shares(&refs, t0(), 10.0, |v| v.true_rttf(10.0));
+        let s = BalancerStrategy::CapacityWeighted.shares(&refs, t0(), 10.0, |v| v.true_rttf(10.0));
         assert!(s[1] >= s[0], "degraded VM should get no more: {s:?}");
     }
 

@@ -17,7 +17,9 @@ use serde::{Deserialize, Serialize};
 /// Lifetime counters of an event-driven region.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RegionSimStats {
-    /// Requests served to completion.
+    /// Requests served to completion — counted when the in-flight slot is
+    /// released ([`RegionSim::finish`]), so `completed + dropped` stays
+    /// consistent with the work actually in flight.
     pub completed: u64,
     /// Requests dropped (no ACTIVE VM, or the target VM failed on arrival).
     pub dropped: u64,
@@ -38,6 +40,9 @@ pub struct RegionSim {
     /// RTTF predictions (req/s).
     lambda_hint: f64,
     stats: RegionSimStats,
+    /// Requests begun but not yet finished (region grain, survives VM
+    /// rejuvenation clearing the per-VM counters).
+    inflight: u64,
 }
 
 impl RegionSim {
@@ -65,6 +70,7 @@ impl RegionSim {
             rr_next: 0,
             lambda_hint,
             stats: RegionSimStats::default(),
+            inflight: 0,
         }
     }
 
@@ -105,7 +111,8 @@ impl RegionSim {
     /// with the returned VM id — typically from the scheduled completion
     /// event.
     pub fn begin(&mut self, now: SimTime) -> Option<(acm_vm::VmId, RequestOutcome)> {
-        let active = self.pool.active_ids();
+        // Cached ACTIVE list: no allocation, no pool scan in steady state.
+        let active = self.pool.active_ids_cached();
         if active.is_empty() {
             self.stats.dropped += 1;
             return None;
@@ -113,9 +120,9 @@ impl RegionSim {
         let id = active[self.rr_next % active.len()];
         self.rr_next = self.rr_next.wrapping_add(1);
         let hint = self.lambda_hint;
-        match self.pool.vm_mut(id).and_then(|vm| vm.begin_request(now, hint)) {
+        match self.pool.begin_request(id, now, hint) {
             Some(out) => {
-                self.stats.completed += 1;
+                self.inflight += 1;
                 Some((id, out))
             }
             None => {
@@ -125,11 +132,15 @@ impl RegionSim {
         }
     }
 
-    /// Releases the in-flight slot taken by [`RegionSim::begin`]. Safe to
-    /// call even if the VM has since failed or been rejuvenated.
+    /// Releases the in-flight slot taken by [`RegionSim::begin`] and counts
+    /// the request as completed. Safe to call even if the VM has since
+    /// failed or been rejuvenated; calls with no request in flight are
+    /// ignored rather than inflating the counters.
     pub fn finish(&mut self, vm: acm_vm::VmId) {
-        if let Some(vm) = self.pool.vm_mut(vm) {
-            vm.end_request();
+        self.pool.end_request(vm);
+        if self.inflight > 0 {
+            self.inflight -= 1;
+            self.stats.completed += 1;
         }
     }
 
@@ -158,28 +169,57 @@ impl RegionSim {
         }
         self.pool.replenish_active(now);
 
-        // Proactive path.
+        // Proactive path: RTTF depends only on a VM's own state and the
+        // per-VM rate hint, so each round scores the ACTIVE set once and
+        // rejuvenates the below-threshold VMs in ascending-RTTF order while
+        // spares last, instead of rescanning the pool after every single
+        // rejuvenation. Standbys promoted during a round are scored by the
+        // next round; the fixpoint is unchanged.
         let threshold = self.config.rttf_threshold.as_secs_f64();
+        let hint = self.lambda_hint;
+        let mut candidates: Vec<(f64, acm_vm::VmId)> = Vec::new();
+        let mut rttfs: Vec<f64> = Vec::new();
         loop {
-            if self.pool.counts().standby == 0 {
+            let mut spares = self.pool.counts().standby;
+            if spares == 0 {
                 break;
             }
-            let hint = self.lambda_hint;
-            let candidate = self
-                .pool
-                .vms()
-                .iter()
-                .filter(|vm| vm.is_active())
-                .map(|vm| (vm.id(), self.rttf_source.predict(vm, now, hint)))
-                .filter(|(_, rttf)| *rttf < threshold)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite RTTF"));
-            let Some((id, _)) = candidate else { break };
-            self.pool
-                .vm_mut(id)
-                .expect("candidate id")
-                .start_rejuvenation(now, self.config.rejuvenation_time);
-            self.stats.proactive += 1;
-            self.pool.replenish_active(now);
+            candidates.clear();
+            {
+                let pairs: Vec<(&acm_vm::Vm, f64)> = self
+                    .pool
+                    .vms()
+                    .iter()
+                    .filter(|vm| vm.is_active())
+                    .map(|vm| (vm, hint))
+                    .collect();
+                self.rttf_source.predict_many(&pairs, now, &mut rttfs);
+                candidates.extend(
+                    pairs
+                        .iter()
+                        .zip(&rttfs)
+                        .filter(|(_, rttf)| **rttf < threshold)
+                        .map(|((vm, _), rttf)| (*rttf, vm.id())),
+                );
+            }
+            if candidates.is_empty() {
+                break;
+            }
+            // Stable sort: equal RTTFs keep pool order, matching the old
+            // first-on-tie rescan.
+            candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite RTTF"));
+            for &(_, id) in &candidates {
+                if spares == 0 {
+                    break;
+                }
+                self.pool
+                    .vm_mut(id)
+                    .expect("candidate id")
+                    .start_rejuvenation(now, self.config.rejuvenation_time);
+                self.stats.proactive += 1;
+                spares -= 1;
+                self.pool.replenish_active(now);
+            }
         }
     }
 }

@@ -279,7 +279,11 @@ mod tests {
                 assert!(now < t(20_000), "never failed");
             }
         }
-        assert!(labeler.labelled_rows() > 60, "rows {}", labeler.labelled_rows());
+        assert!(
+            labeler.labelled_rows() > 60,
+            "rows {}",
+            labeler.labelled_rows()
+        );
 
         // Phase 3: retrain on the harvested labels.
         let mut rng2 = SimRng::new(4);

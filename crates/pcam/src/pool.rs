@@ -7,8 +7,12 @@
 
 use acm_sim::rng::SimRng;
 use acm_sim::time::SimTime;
+use acm_vm::service::RequestOutcome;
 use acm_vm::{AnomalyConfig, FailureSpec, Vm, VmFlavor, VmId, VmState};
 use serde::{Deserialize, Serialize};
+
+/// Sentinel for "id not present" in the id → slot index.
+const NO_SLOT: u32 = u32::MAX;
 
 /// Pool statistics snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,6 +44,14 @@ pub struct VmPool {
     anomaly_cfg: AnomalyConfig,
     failure_spec: FailureSpec,
     rng: SimRng,
+    /// `id.0` → slot in `vms` (`NO_SLOT` when absent), so per-request VM
+    /// lookup is O(1) instead of a linear scan.
+    id_index: Vec<u32>,
+    /// Cached ids of ACTIVE VMs in `vms` order, rebuilt lazily when a
+    /// lifecycle transition marks it stale. Keeps the dispatch hot path
+    /// ([`VmPool::active_ids_cached`]) allocation-free.
+    active_cache: Vec<VmId>,
+    active_dirty: bool,
 }
 
 impl VmPool {
@@ -75,7 +87,7 @@ impl VmPool {
                 )
             })
             .collect();
-        VmPool {
+        let mut pool = VmPool {
             vms,
             target_active,
             next_id: total as u32,
@@ -83,6 +95,34 @@ impl VmPool {
             anomaly_cfg,
             failure_spec,
             rng,
+            id_index: Vec::new(),
+            active_cache: Vec::with_capacity(target_active),
+            active_dirty: true,
+        };
+        pool.rebuild_index();
+        pool
+    }
+
+    /// Rebuilds the id → slot map from scratch (construction and the rare
+    /// operations that shift `vms`, i.e. [`VmPool::remove_standby`]).
+    fn rebuild_index(&mut self) {
+        let cap = self
+            .vms
+            .iter()
+            .map(|v| v.id().0 as usize + 1)
+            .max()
+            .unwrap_or(0);
+        self.id_index.clear();
+        self.id_index.resize(cap, NO_SLOT);
+        for (slot, vm) in self.vms.iter().enumerate() {
+            self.id_index[vm.id().0 as usize] = slot as u32;
+        }
+    }
+
+    fn slot_of(&self, id: VmId) -> Option<usize> {
+        match self.id_index.get(id.0 as usize) {
+            Some(&slot) if slot != NO_SLOT => Some(slot as usize),
+            _ => None,
         }
     }
 
@@ -116,19 +156,52 @@ impl VmPool {
         &self.vms
     }
 
-    /// All VMs (write).
+    /// All VMs (write). Conservatively marks the ACTIVE cache stale: the
+    /// caller may transition any VM through the returned slice.
     pub fn vms_mut(&mut self) -> &mut [Vm] {
+        self.active_dirty = true;
         &mut self.vms
     }
 
-    /// VM lookup by id.
+    /// VM lookup by id (O(1)).
     pub fn vm(&self, id: VmId) -> Option<&Vm> {
-        self.vms.iter().find(|v| v.id() == id)
+        self.slot_of(id).map(|slot| &self.vms[slot])
     }
 
-    /// Mutable VM lookup by id.
+    /// Mutable VM lookup by id (O(1)). Conservatively marks the ACTIVE
+    /// cache stale: the caller may transition the VM's lifecycle state.
     pub fn vm_mut(&mut self, id: VmId) -> Option<&mut Vm> {
-        self.vms.iter_mut().find(|v| v.id() == id)
+        self.active_dirty = true;
+        self.slot_of(id).map(|slot| &mut self.vms[slot])
+    }
+
+    /// Starts a request on the given VM without staling the ACTIVE cache
+    /// unless the arrival actually tripped the failure predicate (the only
+    /// lifecycle transition this call can cause). This is the dispatch hot
+    /// path: O(1) lookup, zero allocation.
+    pub fn begin_request(
+        &mut self,
+        id: VmId,
+        now: SimTime,
+        lambda_hint: f64,
+    ) -> Option<RequestOutcome> {
+        let slot = self.slot_of(id)?;
+        let vm = &mut self.vms[slot];
+        let out = vm.begin_request(now, lambda_hint);
+        if out.is_none() {
+            // Arrival-triggered failure (ACTIVE → FAILED), or a stale
+            // caller-side id; either way the cached ACTIVE set is suspect.
+            self.active_dirty = true;
+        }
+        out
+    }
+
+    /// Releases the in-flight slot taken by [`VmPool::begin_request`].
+    /// Never a lifecycle transition, so the ACTIVE cache stays valid.
+    pub fn end_request(&mut self, id: VmId) {
+        if let Some(slot) = self.slot_of(id) {
+            self.vms[slot].end_request();
+        }
     }
 
     /// Current state census.
@@ -150,7 +223,8 @@ impl VmPool {
         c
     }
 
-    /// Ids of currently ACTIVE VMs (ascending).
+    /// Ids of currently ACTIVE VMs (ascending). Allocates; prefer
+    /// [`VmPool::active_ids_cached`] on hot paths.
     pub fn active_ids(&self) -> Vec<VmId> {
         self.vms
             .iter()
@@ -159,20 +233,40 @@ impl VmPool {
             .collect()
     }
 
+    /// Ids of currently ACTIVE VMs (ascending) from the lifecycle-tracked
+    /// cache. Rebuilds in place only when a transition staled it, so the
+    /// steady-state dispatch path performs no allocation and no scan.
+    pub fn active_ids_cached(&mut self) -> &[VmId] {
+        if self.active_dirty {
+            self.active_cache.clear();
+            self.active_cache
+                .extend(self.vms.iter().filter(|v| v.is_active()).map(|v| v.id()));
+            self.active_dirty = false;
+        }
+        &self.active_cache
+    }
+
     /// Promotes standbys until the active count reaches the target or the
     /// spares run out. Returns how many were activated.
     pub fn replenish_active(&mut self, now: SimTime) -> usize {
+        let active = self.vms.iter().filter(|v| v.is_active()).count();
+        if active >= self.target_active {
+            return 0;
+        }
+        let mut need = self.target_active - active;
         let mut activated = 0;
-        loop {
-            let counts = self.counts();
-            if counts.active >= self.target_active {
+        for vm in &mut self.vms {
+            if need == 0 {
                 break;
             }
-            let Some(standby) = self.vms.iter_mut().find(|v| v.is_standby()) else {
-                break;
-            };
-            standby.activate(now);
-            activated += 1;
+            if vm.is_standby() {
+                vm.activate(now);
+                activated += 1;
+                need -= 1;
+            }
+        }
+        if activated > 0 {
+            self.active_dirty = true;
         }
         activated
     }
@@ -182,29 +276,30 @@ impl VmPool {
     /// is demoted so the serving set keeps the damaged VMs visible to the
     /// rejuvenation logic. Returns how many were demoted.
     pub fn demote_excess_active(&mut self, now: SimTime) -> usize {
-        let mut demoted = 0;
-        loop {
-            let active_ids = self.active_ids();
-            if active_ids.len() <= self.target_active {
-                break;
-            }
-            // Freshest = fewest requests since refresh.
-            let freshest = active_ids
-                .iter()
-                .min_by_key(|id| {
-                    self.vm(**id)
-                        .map(|v| v.anomaly().requests_since_refresh)
-                        .unwrap_or(u64::MAX)
-                })
-                .copied()
-                .expect("non-empty active set");
-            self.vm_mut(freshest).expect("active id").deactivate(now);
-            demoted += 1;
+        // Freshest = fewest requests since refresh; stable sort keeps the
+        // original first-on-tie order (pool position).
+        let mut active: Vec<(u64, usize)> = self
+            .vms
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_active())
+            .map(|(slot, v)| (v.anomaly().requests_since_refresh, slot))
+            .collect();
+        if active.len() <= self.target_active {
+            return 0;
         }
-        demoted
+        let excess = active.len() - self.target_active;
+        active.sort_by_key(|&(requests, _)| requests);
+        for &(_, slot) in active.iter().take(excess) {
+            self.vms[slot].deactivate(now);
+        }
+        self.active_dirty = true;
+        excess
     }
 
     /// Completes any due rejuvenations. Returns how many finished.
+    /// (Rejuvenating → STANDBY never touches the ACTIVE set, so the
+    /// dispatch cache stays valid.)
     pub fn poll_rejuvenations(&mut self, now: SimTime) -> usize {
         self.vms
             .iter_mut()
@@ -217,6 +312,7 @@ impl VmPool {
         let id = VmId(self.next_id);
         self.next_id += 1;
         let child_rng = self.rng.split();
+        let slot = self.vms.len() as u32;
         self.vms.push(Vm::new(
             id,
             self.flavor.clone(),
@@ -225,6 +321,11 @@ impl VmPool {
             VmState::Standby,
             child_rng,
         ));
+        let idx = id.0 as usize;
+        if self.id_index.len() <= idx {
+            self.id_index.resize(idx + 1, NO_SLOT);
+        }
+        self.id_index[idx] = slot;
         id
     }
 
@@ -232,7 +333,11 @@ impl VmPool {
     /// removes serving or rejuvenating VMs.
     pub fn remove_standby(&mut self) -> Option<VmId> {
         let idx = self.vms.iter().position(|v| v.is_standby())?;
-        Some(self.vms.remove(idx).id())
+        let id = self.vms.remove(idx).id();
+        // The removal shifted every later slot; the cache holds ids (still
+        // valid — a standby left), but the index must be rebuilt.
+        self.rebuild_index();
+        Some(id)
     }
 }
 
@@ -345,5 +450,63 @@ mod tests {
         let p = pool(3, 2);
         assert!(p.vm(VmId(2)).is_some());
         assert!(p.vm(VmId(99)).is_none());
+    }
+
+    #[test]
+    fn lookup_survives_removal_and_growth() {
+        let mut p = pool(5, 2); // ids 0..5, actives 0 and 1
+        assert!(p.remove_standby().is_some()); // removes id 2, shifts 3 and 4
+        for id in [0, 1, 3, 4] {
+            assert_eq!(p.vm(VmId(id)).unwrap().id(), VmId(id));
+        }
+        assert!(p.vm(VmId(2)).is_none());
+        let new_id = p.add_vm();
+        assert_eq!(new_id, VmId(5));
+        assert_eq!(p.vm(new_id).unwrap().id(), new_id);
+        assert!(p.vm_mut(VmId(4)).is_some());
+    }
+
+    #[test]
+    fn cached_active_ids_track_lifecycle_transitions() {
+        let mut p = pool(5, 3);
+        assert_eq!(p.active_ids_cached().to_vec(), p.active_ids());
+
+        // Rejuvenating an active VM via vm_mut stales the cache.
+        let id = p.active_ids()[1];
+        p.vm_mut(id)
+            .unwrap()
+            .start_rejuvenation(t(0), Duration::from_secs(60));
+        assert_eq!(p.active_ids_cached().to_vec(), p.active_ids());
+        assert!(!p.active_ids_cached().contains(&id));
+
+        // Replenish promotes a standby; cache follows.
+        p.replenish_active(t(1));
+        assert_eq!(p.active_ids_cached().to_vec(), p.active_ids());
+        assert_eq!(p.active_ids_cached().len(), 3);
+
+        // Rejuvenation completion restores a standby, not an active.
+        p.poll_rejuvenations(t(120));
+        assert_eq!(p.active_ids_cached().to_vec(), p.active_ids());
+
+        // Scale down demotes; cache follows.
+        p.set_target_active(1);
+        p.demote_excess_active(t(121));
+        assert_eq!(p.active_ids_cached().to_vec(), p.active_ids());
+        assert_eq!(p.active_ids_cached().len(), 1);
+    }
+
+    #[test]
+    fn begin_request_wrapper_matches_direct_call() {
+        let mut p = pool(3, 2);
+        let id = p.active_ids()[0];
+        let out = p.begin_request(id, t(0), 5.0).expect("active VM serves");
+        assert!(out.response_s > 0.0);
+        assert_eq!(p.vm(id).unwrap().inflight(), 1);
+        p.end_request(id);
+        assert_eq!(p.vm(id).unwrap().inflight(), 0);
+        // Unknown and non-active targets are rejected, not panicked.
+        assert!(p.begin_request(VmId(99), t(0), 5.0).is_none());
+        let standby = p.vms().iter().find(|v| v.is_standby()).unwrap().id();
+        assert!(p.begin_request(standby, t(0), 5.0).is_none());
     }
 }

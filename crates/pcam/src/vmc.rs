@@ -35,6 +35,26 @@ impl RttfSource {
             RttfSource::Model(m) => m.predict(vm.features(now, lambda).as_slice()),
         }
     }
+
+    /// Batch variant of [`RttfSource::predict`] over `(vm, lambda)` pairs.
+    /// Clears and refills `out` index-aligned with `pairs`. The model path
+    /// gathers the feature vectors into one packed buffer and runs a single
+    /// batched prediction instead of a per-VM model walk.
+    pub fn predict_many(&self, pairs: &[(&Vm, f64)], now: SimTime, out: &mut Vec<f64>) {
+        match self {
+            RttfSource::Oracle => {
+                out.clear();
+                out.extend(pairs.iter().map(|(vm, lambda)| vm.true_rttf(*lambda)));
+            }
+            RttfSource::Model(m) => {
+                let rows: Vec<acm_vm::FeatureVec> = pairs
+                    .iter()
+                    .map(|(vm, lambda)| vm.features(now, *lambda))
+                    .collect();
+                m.predict_batch_into(rows.iter().map(|f| f.as_slice()), out);
+            }
+        }
+    }
 }
 
 /// Static configuration of one region's controller.
@@ -184,14 +204,19 @@ impl Vmc {
     /// ACTIVE VMs ("calculated as the average MTTF of all active VMs in the
     /// region", paper Sec. IV). Returns 0 when nothing is active.
     pub fn region_mttf(&self, now: SimTime, region_lambda: f64) -> f64 {
-        let active: Vec<&Vm> = self.pool.vms().iter().filter(|v| v.is_active()).collect();
-        if active.is_empty() {
-            return 0.0;
-        }
-        let per_vm = region_lambda / active.len() as f64;
+        let pairs: Vec<(&Vm, f64)> = {
+            let active: Vec<&Vm> = self.pool.vms().iter().filter(|v| v.is_active()).collect();
+            if active.is_empty() {
+                return 0.0;
+            }
+            let per_vm = region_lambda / active.len() as f64;
+            active.into_iter().map(|vm| (vm, per_vm)).collect()
+        };
+        let mut rttfs = Vec::new();
+        self.rttf_source.predict_many(&pairs, now, &mut rttfs);
         let mut s = OnlineStats::new();
-        for vm in active {
-            let m = self.vm_mttf_estimate(vm, now, per_vm);
+        for ((vm, _), rttf) in pairs.iter().zip(&rttfs) {
+            let m = rttf + vm.age(now).as_secs_f64();
             s.push(m.min(1e7)); // clamp "never fails" to a large finite value
         }
         s.mean()
@@ -232,9 +257,11 @@ impl Vmc {
                 region_lambda / active.len() as f64
             };
             let src = &self.rttf_source;
-            self.config.balancer.shares(&active, now, per_vm_hint, |vm| {
-                src.predict(vm, now, per_vm_hint)
-            })
+            self.config
+                .balancer
+                .shares(&active, now, per_vm_hint, |vm| {
+                    src.predict(vm, now, per_vm_hint)
+                })
         };
 
         // (3) serve.
@@ -274,36 +301,53 @@ impl Vmc {
         }
         self.pool.replenish_active(end);
 
-        // (5) proactive rejuvenation.
+        // (5) proactive rejuvenation. Candidates come only from this era's
+        // serving set (`vm_lambdas`) and their predictions are fixed at
+        // `end`, so one scored pass in ascending-RTTF order is equivalent
+        // to the old rejuvenate-worst-then-rescan loop — without the O(n²)
+        // rescans.
         let threshold = self.config.rttf_threshold.as_secs_f64();
         let mut proactive = 0;
-        loop {
-            let counts = self.pool.counts();
-            if counts.standby == 0 {
-                break; // no spare to take over: keep serving
-            }
-            // Worst predicted-RTTF active VM below threshold, if any.
-            let candidate = {
-                let mut worst: Option<(acm_vm::VmId, f64)> = None;
+        let mut spares = self.pool.counts().standby;
+        if spares > 0 {
+            let mut candidates: Vec<(f64, acm_vm::VmId)> = Vec::with_capacity(vm_lambdas.len());
+            {
+                let mut pairs: Vec<(&Vm, f64)> = Vec::with_capacity(vm_lambdas.len());
+                let mut ids: Vec<acm_vm::VmId> = Vec::with_capacity(vm_lambdas.len());
                 for (id, lambda_vm) in &vm_lambdas {
-                    let Some(vm) = self.pool.vm(*id) else { continue };
+                    let Some(vm) = self.pool.vm(*id) else {
+                        continue;
+                    };
                     if !vm.is_active() {
                         continue;
                     }
-                    let rttf = self.rttf_source.predict(vm, end, *lambda_vm);
-                    if rttf < threshold && worst.as_ref().is_none_or(|(_, w)| rttf < *w) {
-                        worst = Some((*id, rttf));
-                    }
+                    pairs.push((vm, *lambda_vm));
+                    ids.push(*id);
                 }
-                worst
-            };
-            let Some((id, _)) = candidate else { break };
-            self.pool
-                .vm_mut(id)
-                .expect("candidate id")
-                .start_rejuvenation(end, self.config.rejuvenation_time);
-            proactive += 1;
-            self.pool.replenish_active(end);
+                let mut rttfs = Vec::new();
+                self.rttf_source.predict_many(&pairs, end, &mut rttfs);
+                candidates.extend(
+                    ids.iter()
+                        .zip(&rttfs)
+                        .filter(|(_, rttf)| **rttf < threshold)
+                        .map(|(id, rttf)| (*rttf, *id)),
+                );
+            }
+            // Stable sort: equal RTTFs keep serving order, matching the old
+            // first-on-tie rescan.
+            candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite RTTF"));
+            for (_, id) in candidates {
+                if spares == 0 {
+                    break; // no spare to take over: keep serving
+                }
+                self.pool
+                    .vm_mut(id)
+                    .expect("candidate id")
+                    .start_rejuvenation(end, self.config.rejuvenation_time);
+                proactive += 1;
+                spares -= 1;
+                self.pool.replenish_active(end);
+            }
         }
 
         self.proactive_total += proactive as u64;
@@ -385,10 +429,7 @@ mod tests {
         let reports = run_eras(&mut vmc, 40, 30.0);
         let tail: Vec<f64> = reports[10..].iter().map(|r| r.last_rmttf).collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        let max_dev = tail
-            .iter()
-            .map(|v| (v - mean).abs())
-            .fold(0.0, f64::max);
+        let max_dev = tail.iter().map(|v| (v - mean).abs()).fold(0.0, f64::max);
         assert!(
             max_dev < mean * 0.5,
             "RMTTF too unstable: mean {mean}, max dev {max_dev}"

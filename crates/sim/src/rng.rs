@@ -55,10 +55,7 @@ impl SimRng {
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -76,7 +73,10 @@ impl SimRng {
 
     /// Uniform draw in `[lo, hi)`. Panics if `lo > hi` or either is non-finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad uniform range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "bad uniform range"
+        );
         lo + (hi - lo) * self.f64()
     }
 
@@ -109,7 +109,10 @@ impl SimRng {
     /// Exponential variate with the given mean (inverse-CDF method).
     /// Panics if `mean` is not positive and finite.
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         // 1 - U avoids ln(0); U in [0,1) so 1-U in (0,1].
         -mean * (1.0 - self.f64()).ln()
     }
@@ -141,7 +144,10 @@ impl SimRng {
     /// Poisson variate with the given mean: Knuth's product method for small
     /// means, a rounded-and-clamped normal approximation for large ones.
     pub fn poisson(&mut self, mean: f64) -> u64 {
-        assert!(mean.is_finite() && mean >= 0.0, "poisson mean must be non-negative");
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "poisson mean must be non-negative"
+        );
         if mean == 0.0 {
             return 0;
         }
@@ -163,7 +169,10 @@ impl SimRng {
 
     /// Pareto variate with scale `x_min > 0` and shape `alpha > 0`.
     pub fn pareto(&mut self, x_min: f64, alpha: f64) -> f64 {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         x_min / (1.0 - self.f64()).powf(1.0 / alpha)
     }
 
@@ -220,7 +229,10 @@ impl ZipfTable {
     /// Builds the table. Panics if `n == 0` or `s < 0`.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf support must be non-empty");
-        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -246,7 +258,9 @@ impl ZipfTable {
 
     fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.f64();
-        self.cdf.partition_point(|c| *c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|c| *c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -268,7 +282,10 @@ mod tests {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
-        assert!(same < 4, "streams should be nearly disjoint, {same} collisions");
+        assert!(
+            same < 4,
+            "streams should be nearly disjoint, {same} collisions"
+        );
     }
 
     #[test]
@@ -314,7 +331,10 @@ mod tests {
         }
         let expect = n as f64 / 7.0;
         for c in counts {
-            assert!((c as f64 - expect).abs() < expect * 0.1, "count {c} vs {expect}");
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "count {c} vs {expect}"
+            );
         }
     }
 
@@ -325,7 +345,10 @@ mod tests {
         let mean = 2.5;
         let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
         let sample_mean = sum / n as f64;
-        assert!((sample_mean - mean).abs() < 0.05, "sample mean {sample_mean}");
+        assert!(
+            (sample_mean - mean).abs() < 0.05,
+            "sample mean {sample_mean}"
+        );
     }
 
     #[test]

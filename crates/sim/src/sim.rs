@@ -80,7 +80,11 @@ impl<W> Simulator<W> {
         at: SimTime,
         handler: impl FnOnce(&mut Simulator<W>) + 'static,
     ) -> EventId {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
         self.queue.schedule(at, Box::new(handler))
     }
 

@@ -211,16 +211,16 @@ impl P2Quantile {
                             + (self.positions[i + 1] - self.positions[i] - s)
                                 * (self.heights[i] - self.heights[i - 1])
                                 / (-left));
-                let new_height = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else {
-                    // Linear fallback.
-                    let j = if s > 0.0 { i + 1 } else { i - 1 };
-                    self.heights[i]
-                        + s * (self.heights[j] - self.heights[i])
-                            / (self.positions[j] - self.positions[i])
-                };
+                let new_height =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        // Linear fallback.
+                        let j = if s > 0.0 { i + 1 } else { i - 1 };
+                        self.heights[i]
+                            + s * (self.heights[j] - self.heights[i])
+                                / (self.positions[j] - self.positions[i])
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += s;
             }

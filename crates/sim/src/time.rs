@@ -13,7 +13,9 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 pub const TICKS_PER_SECOND: u64 = 1_000_000;
 
 /// A span of simulated time (non-negative, microsecond resolution).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(u64);
 
 impl Duration {
@@ -124,7 +126,9 @@ impl fmt::Display for Duration {
 /// An absolute instant on the simulated clock.
 ///
 /// The simulation epoch is `SimTime::ZERO`; instants only ever move forward.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {

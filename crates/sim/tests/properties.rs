@@ -146,3 +146,160 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Differential properties: the arena event queue vs two independent models.
+// ---------------------------------------------------------------------------
+
+/// One step of a random event-queue workload.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    /// Schedule at the given microsecond timestamp.
+    Schedule(u64),
+    /// Cancel the k-th oldest still-held handle (no-op when none are held).
+    Cancel(usize),
+    /// Pop the earliest live event.
+    Pop,
+    /// Drop every pending event.
+    Clear,
+}
+
+fn op_strategy() -> impl Strategy<Value = QueueOp> {
+    // Weights: scheduling dominates, clears are rare — the mix the
+    // simulator actually produces.
+    (0u32..100, 0u64..50_000, 0usize..64).prop_map(|(sel, at, k)| match sel {
+        0..=49 => QueueOp::Schedule(at),
+        50..=69 => QueueOp::Cancel(k),
+        70..=97 => QueueOp::Pop,
+        _ => QueueOp::Clear,
+    })
+}
+
+/// A naive but obviously-correct pending-event model: a Vec of
+/// `(time, seq, payload)` scanned linearly for the minimum.
+#[derive(Default)]
+struct NaiveQueue {
+    entries: Vec<(SimTime, u64, u64)>,
+    next_seq: u64,
+}
+
+impl NaiveQueue {
+    fn schedule(&mut self, at: SimTime, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push((at, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.entries.iter().position(|e| e.1 == seq) {
+            Some(i) => {
+                self.entries.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        let min = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.0, e.1))
+            .map(|(i, _)| i)?;
+        let (at, _, payload) = self.entries.remove(min);
+        Some((at, payload))
+    }
+}
+
+proptest! {
+    #[test]
+    fn arena_queue_matches_naive_model(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut arena = EventQueue::new();
+        let mut naive = NaiveQueue::default();
+        // Handles held for future cancellation, oldest first.
+        let mut handles: Vec<(acm_sim::EventId, u64)> = Vec::new();
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Schedule(at) => {
+                    let at = SimTime::from_micros(at);
+                    let id = arena.schedule(at, payload);
+                    let seq = naive.schedule(at, payload);
+                    handles.push((id, seq));
+                    payload += 1;
+                }
+                QueueOp::Cancel(k) => {
+                    if !handles.is_empty() {
+                        let (id, seq) = handles.remove(k % handles.len());
+                        let a = arena.cancel(id);
+                        let b = naive.cancel(seq);
+                        prop_assert_eq!(a, b, "cancel outcome diverged");
+                    }
+                }
+                QueueOp::Pop => {
+                    let a = arena.pop();
+                    let b = naive.pop();
+                    prop_assert_eq!(a, b, "pop diverged");
+                    if let Some((_, gone)) = a {
+                        handles.retain(|(_, s)| *s != gone);
+                    }
+                }
+                QueueOp::Clear => {
+                    arena.clear();
+                    naive.entries.clear();
+                    handles.clear();
+                }
+            }
+            prop_assert_eq!(arena.len(), naive.entries.len());
+            prop_assert_eq!(arena.peek_time(), naive.entries.iter().map(|e| (e.0, e.1)).min().map(|(at, _)| at));
+        }
+        // Drain both: every remaining event must match, in order.
+        loop {
+            let (a, b) = (arena.pop(), naive.pop());
+            prop_assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn arena_queue_matches_seed_implementation(
+        ops in proptest::collection::vec(op_strategy(), 1..400),
+    ) {
+        let mut arena = EventQueue::new();
+        let mut seed = acm_sim::legacy::EventQueue::new();
+        let mut handles: Vec<(acm_sim::EventId, acm_sim::legacy::EventId)> = Vec::new();
+        let mut payload = 0u64;
+        for op in ops {
+            match op {
+                QueueOp::Schedule(at) => {
+                    let at = SimTime::from_micros(at);
+                    handles.push((arena.schedule(at, payload), seed.schedule(at, payload)));
+                    payload += 1;
+                }
+                QueueOp::Cancel(k) => {
+                    if !handles.is_empty() {
+                        let (a, b) = handles.remove(k % handles.len());
+                        prop_assert_eq!(arena.cancel(a), seed.cancel(b));
+                    }
+                }
+                QueueOp::Pop => {
+                    let (a, b) = (arena.pop(), seed.pop());
+                    prop_assert_eq!(a, b, "pop diverged from seed queue");
+                }
+                QueueOp::Clear => {
+                    arena.clear();
+                    seed.clear();
+                    handles.clear();
+                }
+            }
+            prop_assert_eq!(arena.len(), seed.len());
+            prop_assert_eq!(arena.peek_time(), seed.peek_time());
+        }
+    }
+}

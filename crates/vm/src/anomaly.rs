@@ -72,7 +72,10 @@ impl AnomalyConfig {
 
     /// Validates parameter ranges.
     pub fn validate(&self) -> Result<(), String> {
-        for (name, p) in [("leak_prob", self.leak_prob), ("thread_prob", self.thread_prob)] {
+        for (name, p) in [
+            ("leak_prob", self.leak_prob),
+            ("thread_prob", self.thread_prob),
+        ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} must be in [0,1], got {p}"));
             }
@@ -162,7 +165,9 @@ impl AnomalyState {
             }
         }
         let threads = sample_binomial(n, cfg.thread_prob, rng);
-        self.stuck_threads = self.stuck_threads.saturating_add(threads.min(u32::MAX as u64) as u32);
+        self.stuck_threads = self
+            .stuck_threads
+            .saturating_add(threads.min(u32::MAX as u64) as u32);
     }
 }
 
@@ -235,7 +240,10 @@ mod tests {
         let leak_rate = st.leak_events as f64 / n as f64;
         let thread_rate = st.stuck_threads as f64 / n as f64;
         assert!((leak_rate - 0.10).abs() < 0.01, "leak rate {leak_rate}");
-        assert!((thread_rate - 0.05).abs() < 0.01, "thread rate {thread_rate}");
+        assert!(
+            (thread_rate - 0.05).abs() < 0.01,
+            "thread rate {thread_rate}"
+        );
         // Mean leaked memory per request ≈ leak_prob × leak_size = 0.8 MiB.
         let per_req = st.leaked_mb / n as f64;
         assert!((per_req - 0.80).abs() < 0.08, "leak MiB/request {per_req}");
@@ -252,10 +260,20 @@ mod tests {
         let mut coarse = AnomalyState::fresh();
         coarse.apply_requests(&cfg, 50_000, &mut rng);
         let rel = (fine.leaked_mb - coarse.leaked_mb).abs() / fine.leaked_mb;
-        assert!(rel < 0.05, "leaked {} vs {}", fine.leaked_mb, coarse.leaked_mb);
+        assert!(
+            rel < 0.05,
+            "leaked {} vs {}",
+            fine.leaked_mb,
+            coarse.leaked_mb
+        );
         let t_rel = (fine.stuck_threads as f64 - coarse.stuck_threads as f64).abs()
             / fine.stuck_threads as f64;
-        assert!(t_rel < 0.1, "threads {} vs {}", fine.stuck_threads, coarse.stuck_threads);
+        assert!(
+            t_rel < 0.1,
+            "threads {} vs {}",
+            fine.stuck_threads,
+            coarse.stuck_threads
+        );
     }
 
     #[test]
@@ -299,18 +317,26 @@ mod tests {
     fn binomial_mean_matches_both_regimes() {
         let mut rng = SimRng::new(6);
         // Small-n exact regime.
-        let small: u64 = (0..20_000).map(|_| sample_binomial(40, 0.1, &mut rng)).sum();
+        let small: u64 = (0..20_000)
+            .map(|_| sample_binomial(40, 0.1, &mut rng))
+            .sum();
         let small_mean = small as f64 / 20_000.0;
         assert!((small_mean - 4.0).abs() < 0.1, "small mean {small_mean}");
         // Large-n normal regime.
-        let large: u64 = (0..2_000).map(|_| sample_binomial(10_000, 0.1, &mut rng)).sum();
+        let large: u64 = (0..2_000)
+            .map(|_| sample_binomial(10_000, 0.1, &mut rng))
+            .sum();
         let large_mean = large as f64 / 2_000.0;
         assert!((large_mean - 1000.0).abs() < 5.0, "large mean {large_mean}");
     }
 
     #[test]
     fn leak_size_mean_is_calibrated() {
-        let cfg = AnomalyConfig { leak_size_mb: 2.0, leak_size_cv: 0.5, ..AnomalyConfig::default() };
+        let cfg = AnomalyConfig {
+            leak_size_mb: 2.0,
+            leak_size_cv: 0.5,
+            ..AnomalyConfig::default()
+        };
         let mut rng = SimRng::new(7);
         let n = 100_000;
         let total: f64 = (0..n).map(|_| sample_leak_size(&cfg, &mut rng)).sum();
@@ -320,18 +346,31 @@ mod tests {
 
     #[test]
     fn zero_cv_leak_is_deterministic() {
-        let cfg = AnomalyConfig { leak_size_mb: 3.0, leak_size_cv: 0.0, ..AnomalyConfig::default() };
+        let cfg = AnomalyConfig {
+            leak_size_mb: 3.0,
+            leak_size_cv: 0.0,
+            ..AnomalyConfig::default()
+        };
         let mut rng = SimRng::new(8);
         assert_eq!(sample_leak_size(&cfg, &mut rng), 3.0);
     }
 
     #[test]
     fn validate_rejects_bad_probabilities() {
-        let cfg = AnomalyConfig { leak_prob: 1.5, ..Default::default() };
+        let cfg = AnomalyConfig {
+            leak_prob: 1.5,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = AnomalyConfig { leak_prob: -0.1, ..Default::default() };
+        let cfg = AnomalyConfig {
+            leak_prob: -0.1,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = AnomalyConfig { leak_size_cv: -1.0, ..Default::default() };
+        let cfg = AnomalyConfig {
+            leak_size_cv: -1.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 }

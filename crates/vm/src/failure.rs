@@ -196,7 +196,9 @@ impl FailureSpec {
             return f64::INFINITY;
         }
 
-        let hi_cap = if horizon.is_finite() { horizon } else {
+        let hi_cap = if horizon.is_finite() {
+            horizon
+        } else {
             // Generous upper bound: time to leak the entire address space.
             let rate = (leak_mb_per_s + threads_per_s * cfg.thread_stack_mb).max(1e-12);
             (flavor.ram_mb + flavor.swap_mb) / rate * 4.0
@@ -219,7 +221,8 @@ impl FailureSpec {
     /// Mean time to failure of a *fresh* VM of this flavor at arrival rate
     /// `lambda` — the quantity the region-level RMTTF converges to.
     pub fn mttf_at_rate(&self, flavor: &VmFlavor, cfg: &AnomalyConfig, lambda: f64) -> f64 {
-        self.true_rttf(flavor, cfg, &AnomalyState::fresh(), lambda).0
+        self.true_rttf(flavor, cfg, &AnomalyState::fresh(), lambda)
+            .0
     }
 }
 
@@ -228,7 +231,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (VmFlavor, AnomalyConfig, FailureSpec) {
-        (VmFlavor::m3_medium(), AnomalyConfig::default(), FailureSpec::default())
+        (
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+        )
     }
 
     #[test]
@@ -244,7 +251,10 @@ mod tests {
             leaked_mb: f.ram_mb + f.swap_mb,
             ..Default::default()
         };
-        assert_eq!(spec.check(&f, &cfg, &st, 10.0), Some(FailureCause::OutOfMemory));
+        assert_eq!(
+            spec.check(&f, &cfg, &st, 10.0),
+            Some(FailureCause::OutOfMemory)
+        );
     }
 
     #[test]
@@ -376,7 +386,10 @@ mod tests {
     fn disabled_sla_extends_rttf_to_hard_failure() {
         let (f, cfg, _) = setup();
         let spec_sla = FailureSpec::default();
-        let spec_hard = FailureSpec { enforce_sla: false, ..Default::default() };
+        let spec_hard = FailureSpec {
+            enforce_sla: false,
+            ..Default::default()
+        };
         let fresh = AnomalyState::fresh();
         let (t_sla, _) = spec_sla.true_rttf(&f, &cfg, &fresh, 15.0);
         let (t_hard, cause) = spec_hard.true_rttf(&f, &cfg, &fresh, 15.0);

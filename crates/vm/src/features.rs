@@ -16,18 +16,18 @@ pub const FEATURE_COUNT: usize = 12;
 
 /// Feature names, index-aligned with [`FeatureVec::values`].
 pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
-    "resident_mb",      // resident set size, MiB
-    "swap_used_mb",     // swap in use, MiB
-    "mem_util",         // resident / (RAM + swap)
-    "threads",          // OS thread count
-    "thread_util",      // threads / max_threads
-    "cpu_util",         // offered load / effective capacity
-    "response_time_s",  // mean response time over the last era
-    "request_rate",     // arrival rate, req/s
-    "age_s",            // seconds since last rejuvenation
-    "requests_total",   // requests served since last rejuvenation
-    "io_slowdown",      // swap-induced demand multiplier (iowait proxy)
-    "free_ram_mb",      // RAM not yet resident
+    "resident_mb",     // resident set size, MiB
+    "swap_used_mb",    // swap in use, MiB
+    "mem_util",        // resident / (RAM + swap)
+    "threads",         // OS thread count
+    "thread_util",     // threads / max_threads
+    "cpu_util",        // offered load / effective capacity
+    "response_time_s", // mean response time over the last era
+    "request_rate",    // arrival rate, req/s
+    "age_s",           // seconds since last rejuvenation
+    "requests_total",  // requests served since last rejuvenation
+    "io_slowdown",     // swap-induced demand multiplier (iowait proxy)
+    "free_ram_mb",     // RAM not yet resident
 ];
 
 /// A single observation of the monitored system features.

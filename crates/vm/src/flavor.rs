@@ -156,7 +156,11 @@ mod tests {
 
     #[test]
     fn presets_are_valid() {
-        for f in [VmFlavor::m3_medium(), VmFlavor::m3_small(), VmFlavor::private_munich()] {
+        for f in [
+            VmFlavor::m3_medium(),
+            VmFlavor::m3_small(),
+            VmFlavor::private_munich(),
+        ] {
             f.validate().unwrap_or_else(|e| panic!("{}: {e}", f.name));
         }
     }
@@ -203,7 +207,11 @@ mod tests {
 
     #[test]
     fn headrooms_are_positive_for_presets() {
-        for f in [VmFlavor::m3_medium(), VmFlavor::m3_small(), VmFlavor::private_munich()] {
+        for f in [
+            VmFlavor::m3_medium(),
+            VmFlavor::m3_small(),
+            VmFlavor::private_munich(),
+        ] {
             assert!(f.ram_headroom_mb() > 0.0);
             assert!(f.oom_headroom_mb() > f.ram_headroom_mb());
             assert!(f.thread_headroom() > 0);

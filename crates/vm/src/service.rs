@@ -202,7 +202,10 @@ mod tests {
         let mut rng = SimRng::new(1);
         let r = era_response_time(10.0, 10.0, 20.0, 30.0, &mut rng);
         assert!(r <= 30.0);
-        assert!(r > 29.0, "saturated response should sit at the clamp, got {r}");
+        assert!(
+            r > 29.0,
+            "saturated response should sit at the clamp, got {r}"
+        );
     }
 
     #[test]

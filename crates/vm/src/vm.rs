@@ -200,7 +200,9 @@ impl Vm {
             self.id,
             self.state
         );
-        self.state = VmState::Rejuvenating { until: now + duration };
+        self.state = VmState::Rejuvenating {
+            until: now + duration,
+        };
         self.rejuvenation_count += 1;
         self.inflight = 0;
     }
@@ -239,9 +241,9 @@ impl Vm {
         if !self.is_active() {
             return None;
         }
-        if let Some(cause) = self
-            .failure_spec
-            .check(&self.flavor, &self.anomaly_cfg, &self.anomaly, lambda_hint)
+        if let Some(cause) =
+            self.failure_spec
+                .check(&self.flavor, &self.anomaly_cfg, &self.anomaly, lambda_hint)
         {
             self.fail(now, cause);
             return None;
@@ -331,7 +333,11 @@ impl Vm {
             offered,
             completed,
             mean_response_s,
-            utilization: if mu_start > 0.0 { lambda / mu_start } else { f64::INFINITY },
+            utilization: if mu_start > 0.0 {
+                lambda / mu_start
+            } else {
+                f64::INFINITY
+            },
             active_s,
         };
         self.last_era = Some(out);
@@ -355,7 +361,11 @@ impl Vm {
         v[2] = resident / (f.ram_mb + f.swap_mb);
         v[3] = threads;
         v[4] = threads / f.max_threads as f64;
-        v[5] = if mu > 0.0 { (lambda / mu).min(10.0) } else { 10.0 };
+        v[5] = if mu > 0.0 {
+            (lambda / mu).min(10.0)
+        } else {
+            10.0
+        };
         v[6] = self.last_era.map_or(0.0, |e| e.mean_response_s);
         v[7] = lambda;
         v[8] = self.age(now).as_secs_f64();
@@ -444,7 +454,11 @@ mod tests {
         let mut vm = mk_vm(VmState::Active);
         let out = vm.process_era(t(0), Duration::from_secs(30), 10.0);
         // ~300 requests offered.
-        assert!(out.offered > 200 && out.offered < 400, "offered {}", out.offered);
+        assert!(
+            out.offered > 200 && out.offered < 400,
+            "offered {}",
+            out.offered
+        );
         assert_eq!(out.offered, out.completed);
         assert!(out.mean_response_s > 0.0 && out.mean_response_s < 0.1);
         assert!(out.utilization > 0.1 && out.utilization < 0.4);

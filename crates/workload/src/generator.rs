@@ -62,7 +62,12 @@ impl ClientSchedule {
                     after
                 }
             }
-            ClientSchedule::Ramp { from, to, start, end } => {
+            ClientSchedule::Ramp {
+                from,
+                to,
+                start,
+                end,
+            } => {
                 if now <= start {
                     from
                 } else if now >= end {
@@ -74,10 +79,13 @@ impl ClientSchedule {
                     (from as f64 + (to as f64 - from as f64) * frac).round() as u32
                 }
             }
-            ClientSchedule::Diurnal { base, amplitude, period } => {
+            ClientSchedule::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
                 let phase = now.as_secs_f64() / period.as_secs_f64();
-                let v = base as f64
-                    + amplitude as f64 * (2.0 * std::f64::consts::PI * phase).sin();
+                let v = base as f64 + amplitude as f64 * (2.0 * std::f64::consts::PI * phase).sin();
                 v.round().max(0.0) as u32
             }
         }
@@ -166,7 +174,11 @@ mod tests {
 
     #[test]
     fn step_schedule_switches_at_instant() {
-        let s = ClientSchedule::Step { before: 16, after: 512, at: t(100) };
+        let s = ClientSchedule::Step {
+            before: 16,
+            after: 512,
+            at: t(100),
+        };
         assert_eq!(s.population(t(99)), 16);
         assert_eq!(s.population(t(100)), 512);
         assert_eq!(s.population(t(101)), 512);
@@ -174,7 +186,12 @@ mod tests {
 
     #[test]
     fn ramp_schedule_interpolates() {
-        let s = ClientSchedule::Ramp { from: 100, to: 200, start: t(0), end: t(100) };
+        let s = ClientSchedule::Ramp {
+            from: 100,
+            to: 200,
+            start: t(0),
+            end: t(100),
+        };
         assert_eq!(s.population(t(0)), 100);
         assert_eq!(s.population(t(50)), 150);
         assert_eq!(s.population(t(100)), 200);

@@ -128,8 +128,7 @@ mod tests {
     #[test]
     fn ordering_mix_is_heavier_than_browsing() {
         assert!(
-            TpcwMix::Ordering.mean_demand_multiplier()
-                > TpcwMix::Browsing.mean_demand_multiplier()
+            TpcwMix::Ordering.mean_demand_multiplier() > TpcwMix::Browsing.mean_demand_multiplier()
         );
     }
 

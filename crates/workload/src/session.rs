@@ -181,7 +181,10 @@ mod tests {
         }
         // Order-side share should sit in the shopping-mix ballpark.
         let order_freq = (counts[2] + counts[3] + counts[4]) as f64 / total as f64;
-        assert!((0.1..0.35).contains(&order_freq), "order share {order_freq}");
+        assert!(
+            (0.1..0.35).contains(&order_freq),
+            "order share {order_freq}"
+        );
     }
 
     #[test]
@@ -189,6 +192,9 @@ mod tests {
         let buy_idx = 3;
         let from_cart = transition_row(TpcwMix::Shopping, InteractionClass::Cart)[buy_idx];
         let from_browse = transition_row(TpcwMix::Shopping, InteractionClass::Browse)[buy_idx];
-        assert!(from_cart > 3.0 * from_browse, "{from_cart} vs {from_browse}");
+        assert!(
+            from_cart > 3.0 * from_browse,
+            "{from_cart} vs {from_browse}"
+        );
     }
 }

@@ -40,7 +40,11 @@ impl RateProfile {
                 .take_while(|(at, _)| *at <= t)
                 .last()
                 .map_or(0.0, |(_, r)| r.max(0.0)),
-            RateProfile::Diurnal { base, amplitude, period } => {
+            RateProfile::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
                 let phase = t.as_secs_f64() / period.as_secs_f64();
                 (base + amplitude * (2.0 * std::f64::consts::PI * phase).sin()).max(0.0)
             }
@@ -79,7 +83,11 @@ impl RateProfile {
                     return Err("step rates must be finite and non-negative".into());
                 }
             }
-            RateProfile::Diurnal { base, amplitude, period } => {
+            RateProfile::Diurnal {
+                base,
+                amplitude,
+                period,
+            } => {
                 if !base.is_finite() || *base < 0.0 || !amplitude.is_finite() || *amplitude < 0.0 {
                     return Err("diurnal parameters must be non-negative".into());
                 }
@@ -101,17 +109,15 @@ pub struct ArrivalTrace {
 impl ArrivalTrace {
     /// Generates Poisson arrivals following `profile` over `[0, horizon)`
     /// by thinning against the profile's peak rate.
-    pub fn generate(
-        profile: &RateProfile,
-        horizon: Duration,
-        rng: &mut SimRng,
-    ) -> Self {
+    pub fn generate(profile: &RateProfile, horizon: Duration, rng: &mut SimRng) -> Self {
         profile.validate().expect("invalid rate profile");
         // Peak rate for the thinning envelope.
         let peak = match profile {
             RateProfile::Constant(r) => *r,
             RateProfile::Steps(steps) => steps.iter().map(|(_, r)| *r).fold(0.0, f64::max),
-            RateProfile::Diurnal { base, amplitude, .. } => base + amplitude,
+            RateProfile::Diurnal {
+                base, amplitude, ..
+            } => base + amplitude,
         };
         let mut arrivals = Vec::new();
         if peak <= 0.0 {

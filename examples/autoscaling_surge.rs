@@ -66,6 +66,9 @@ fn main() {
     println!();
     println!("region-1 peak active VMs before surge : {before}");
     println!("region-1 peak active VMs after surge  : {after}");
-    println!("tail response                         : {:.0} ms", tel.tail_response(15) * 1000.0);
+    println!(
+        "tail response                         : {:.0} ms",
+        tel.tail_response(15) * 1000.0
+    );
     assert!(after > before, "autoscaler should have grown the region");
 }

@@ -71,9 +71,8 @@ fn main() {
     let trough_era = (40..tel.eras())
         .min_by(|&a, &b| lambda_vals[a].partial_cmp(&lambda_vals[b]).unwrap())
         .unwrap();
-    let census = |e: usize| {
-        tel.active_vms(0).points()[e].value + tel.active_vms(1).points()[e].value
-    };
+    let census =
+        |e: usize| tel.active_vms(0).points()[e].value + tel.active_vms(1).points()[e].value;
     println!();
     println!(
         "peak   (era {:>3}): λ = {:>5.1} req/s, {} active VMs",
@@ -97,5 +96,8 @@ fn main() {
         census(peak_era) > census(trough_era),
         "capacity should follow the sun"
     );
-    assert!(tel.tail_response(30) < 1.0, "SLA must hold through the cycles");
+    assert!(
+        tel.tail_response(30) < 1.0,
+        "SLA must hold through the cycles"
+    );
 }

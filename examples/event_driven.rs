@@ -39,7 +39,9 @@ impl World {
         let lambda_hint = N_BROWSERS as f64 / THINK_MEAN_S / 4.0;
         World {
             region: RegionSim::new(config, RttfSource::Oracle, lambda_hint, rng.split()),
-            sessions: (0..N_BROWSERS).map(|_| Session::start(TpcwMix::Shopping)).collect(),
+            sessions: (0..N_BROWSERS)
+                .map(|_| Session::start(TpcwMix::Shopping))
+                .collect(),
             rng,
             response: OnlineStats::new(),
             p95: P2Quantile::new(0.95),
@@ -102,9 +104,18 @@ fn main() {
     println!("events executed        : {}", sim.executed());
     println!("requests completed     : {}", stats.completed);
     println!("requests dropped       : {}", stats.dropped);
-    println!("mean response          : {:.1} ms", w.response.mean() * 1000.0);
-    println!("p95 response           : {:.1} ms", w.p95.estimate() * 1000.0);
-    println!("max response           : {:.1} ms", w.response.max() * 1000.0);
+    println!(
+        "mean response          : {:.1} ms",
+        w.response.mean() * 1000.0
+    );
+    println!(
+        "p95 response           : {:.1} ms",
+        w.p95.estimate() * 1000.0
+    );
+    println!(
+        "max response           : {:.1} ms",
+        w.response.max() * 1000.0
+    );
     println!("proactive rejuvenations: {}", stats.proactive);
     println!("reactive rejuvenations : {}", stats.reactive);
     let c = w.region.counts();
@@ -113,8 +124,14 @@ fn main() {
         c.active, c.standby, c.rejuvenating, c.failed
     );
 
-    assert!(stats.completed > 10_000, "the region must actually serve load");
+    assert!(
+        stats.completed > 10_000,
+        "the region must actually serve load"
+    );
     assert!(w.response.mean() < 1.0, "mean response within the SLA");
     assert!(stats.proactive > 0, "anomalies must force rejuvenations");
-    assert_eq!(stats.reactive, 0, "the oracle predictor preempts all failures");
+    assert_eq!(
+        stats.reactive, 0,
+        "the oracle predictor preempts all failures"
+    );
 }

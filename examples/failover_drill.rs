@@ -34,7 +34,10 @@ fn leader_election_demo() {
 
     g.fail_link(NodeId(1), NodeId(2));
     let out = election::elect(&g);
-    println!("link 1-2 also cut: leaders per partition {:?}", out.leaders());
+    println!(
+        "link 1-2 also cut: leaders per partition {:?}",
+        out.leaders()
+    );
 
     g.recover_node(NodeId(0));
     g.recover_link(NodeId(1), NodeId(2));
@@ -62,7 +65,11 @@ fn main() {
         "era", "f_r1", "f_r3", "rmttf_r1", "rmttf_r3", "resp(ms)"
     );
     for e in (0..tel.eras()).step_by(4) {
-        let marker = if (20..30).contains(&e) { "  <- partition" } else { "" };
+        let marker = if (20..30).contains(&e) {
+            "  <- partition"
+        } else {
+            ""
+        };
         println!(
             "{:>6} {:>8.3} {:>8.3} {:>12.0} {:>12.0} {:>10.1}{marker}",
             e + 1,
@@ -80,5 +87,8 @@ fn main() {
         tel.total_proactive(),
         tel.total_reactive()
     );
-    println!("tail response: {:.0} ms (SLA is 1000 ms)", tel.tail_response(15) * 1000.0);
+    println!(
+        "tail response: {:.0} ms (SLA is 1000 ms)",
+        tel.tail_response(15) * 1000.0
+    );
 }

@@ -1,8 +1,8 @@
 //! Embedding ACM in a threaded host application: the control loop runs on
-//! a worker thread, streaming one update per era over a crossbeam channel,
-//! while the main thread renders a live dashboard and a `parking_lot`-
-//! protected snapshot lets any other thread poll the latest state — the
-//! shape a real operations console around the framework would take.
+//! a worker thread, streaming one update per era over an mpsc channel,
+//! while the main thread renders a live dashboard and an `RwLock`-protected
+//! snapshot lets any other thread poll the latest state — the shape a real
+//! operations console around the framework would take.
 //!
 //! ```text
 //! cargo run --release --example live_dashboard
@@ -13,9 +13,8 @@ use acm::core::control_loop::ControlLoop;
 use acm::core::framework::build_vmcs;
 use acm::core::policy::PolicyKind;
 use acm::sim::SimRng;
-use crossbeam::channel;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, RwLock};
 use std::thread;
 
 /// One era's worth of dashboard state.
@@ -33,7 +32,7 @@ fn main() {
     cfg.predictor = PredictorChoice::Oracle;
     cfg.eras = 60;
 
-    let (tx, rx) = channel::bounded::<EraUpdate>(16);
+    let (tx, rx) = mpsc::sync_channel::<EraUpdate>(16);
     let latest: Arc<RwLock<Option<EraUpdate>>> = Arc::new(RwLock::new(None));
     let latest_writer = Arc::clone(&latest);
 
@@ -50,11 +49,13 @@ fn main() {
             let update = EraUpdate {
                 era: era + 1,
                 rmttf: (0..n).map(|i| tel.rmttf(i).last().unwrap_or(0.0)).collect(),
-                fractions: (0..n).map(|i| tel.fraction(i).last().unwrap_or(0.0)).collect(),
+                fractions: (0..n)
+                    .map(|i| tel.fraction(i).last().unwrap_or(0.0))
+                    .collect(),
                 response_ms: tel.global_response().last().unwrap_or(0.0) * 1000.0,
                 lambda: tel.global_lambda().last().unwrap_or(0.0),
             };
-            *latest_writer.write() = Some(update.clone());
+            *latest_writer.write().expect("snapshot lock") = Some(update.clone());
             if tx.send(update).is_err() {
                 return cl.into_telemetry(); // dashboard hung up
             }
@@ -87,10 +88,20 @@ fn main() {
     let telemetry = worker.join().expect("worker thread panicked");
 
     // Any thread can read the last snapshot without the channel.
-    let snapshot = latest.read().clone().expect("at least one era ran");
-    println!("\nlast snapshot via shared lock: era {}, resp {:.1} ms", snapshot.era, snapshot.response_ms);
+    let snapshot = latest
+        .read()
+        .expect("snapshot lock")
+        .clone()
+        .expect("at least one era ran");
+    println!(
+        "\nlast snapshot via shared lock: era {}, resp {:.1} ms",
+        snapshot.era, snapshot.response_ms
+    );
     println!("eras streamed               : {received}");
-    println!("RMTTF spread (final third)  : {:.3}", telemetry.rmttf_spread(20));
+    println!(
+        "RMTTF spread (final third)  : {:.3}",
+        telemetry.rmttf_spread(20)
+    );
 
     assert_eq!(received, cfg.eras);
     assert_eq!(snapshot.era, cfg.eras);

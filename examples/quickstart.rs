@@ -49,10 +49,25 @@ fn main() {
     }
 
     println!();
-    println!("RMTTF spread (last 10 eras)     : {:.3}", tel.rmttf_spread(10));
-    println!("fraction oscillation (last 10)  : {:.4}", tel.fraction_oscillation(10));
-    println!("mean client response (last 10)  : {:.0} ms", tel.tail_response(10) * 1000.0);
-    println!("proactive rejuvenations         : {}", tel.total_proactive());
+    println!(
+        "RMTTF spread (last 10 eras)     : {:.3}",
+        tel.rmttf_spread(10)
+    );
+    println!(
+        "fraction oscillation (last 10)  : {:.4}",
+        tel.fraction_oscillation(10)
+    );
+    println!(
+        "mean client response (last 10)  : {:.0} ms",
+        tel.tail_response(10) * 1000.0
+    );
+    println!(
+        "proactive rejuvenations         : {}",
+        tel.total_proactive()
+    );
     println!("reactive failures               : {}", tel.total_reactive());
-    println!("requests served                 : {}", tel.total_completed());
+    println!(
+        "requests served                 : {}",
+        tel.total_completed()
+    );
 }

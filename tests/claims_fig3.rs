@@ -23,7 +23,10 @@ fn run_seeded(policy: PolicyKind, eras: usize, seed: u64) -> ExperimentTelemetry
 fn c1_policy1_rmttf_does_not_converge() {
     let tel = run(PolicyKind::SensibleRouting, 90);
     let spread = tel.rmttf_spread(30);
-    assert!(spread > 1.5, "Policy 1 spread should stay high, got {spread}");
+    assert!(
+        spread > 1.5,
+        "Policy 1 spread should stay high, got {spread}"
+    );
     assert_eq!(tel.convergence_era(1.25), None);
 }
 
@@ -31,7 +34,10 @@ fn c1_policy1_rmttf_does_not_converge() {
 fn c2_policy2_converges_quickly_and_stably() {
     let tel = run(PolicyKind::AvailableResources, 90);
     let spread = tel.rmttf_spread(30);
-    assert!(spread < 1.2, "Policy 2 should equalise RMTTFs, got {spread}");
+    assert!(
+        spread < 1.2,
+        "Policy 2 should equalise RMTTFs, got {spread}"
+    );
     let conv = tel.convergence_era(1.25).expect("Policy 2 must converge");
     assert!(conv < 45, "Policy 2 should converge early, got era {conv}");
 }
@@ -49,7 +55,10 @@ fn c3_policy3_converges_but_noisier_than_policy2() {
     for &seed in &seeds {
         let p2 = run_seeded(PolicyKind::AvailableResources, 90, seed);
         let p3 = run_seeded(PolicyKind::Exploration, 90, seed);
-        assert!(p3.rmttf_spread(30) < 1.4, "Policy 3 should converge (seed {seed})");
+        assert!(
+            p3.rmttf_spread(30) < 1.4,
+            "Policy 3 should converge (seed {seed})"
+        );
         p2_eras += p2.convergence_era(1.25).expect("P2 converges") as f64;
         p3_eras += p3.convergence_era(1.25).expect("P3 converges") as f64;
         p2_osc += p2.fraction_oscillation(30);

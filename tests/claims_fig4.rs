@@ -16,15 +16,27 @@ fn run(policy: PolicyKind, eras: usize) -> ExperimentTelemetry {
 #[test]
 fn three_region_policy1_still_fails_to_converge() {
     let tel = run(PolicyKind::SensibleRouting, 90);
-    assert!(tel.rmttf_spread(30) > 1.5, "spread {}", tel.rmttf_spread(30));
+    assert!(
+        tel.rmttf_spread(30) > 1.5,
+        "spread {}",
+        tel.rmttf_spread(30)
+    );
 }
 
 #[test]
 fn three_region_policies_2_and_3_cope_with_heterogeneity() {
     let p2 = run(PolicyKind::AvailableResources, 90);
     let p3 = run(PolicyKind::Exploration, 90);
-    assert!(p2.rmttf_spread(30) < 1.2, "P2 spread {}", p2.rmttf_spread(30));
-    assert!(p3.rmttf_spread(30) < 1.4, "P3 spread {}", p3.rmttf_spread(30));
+    assert!(
+        p2.rmttf_spread(30) < 1.2,
+        "P2 spread {}",
+        p2.rmttf_spread(30)
+    );
+    assert!(
+        p3.rmttf_spread(30) < 1.4,
+        "P3 spread {}",
+        p3.rmttf_spread(30)
+    );
 }
 
 #[test]
@@ -47,7 +59,9 @@ fn all_three_regions_carry_meaningful_load_under_policy2() {
         assert!(f > 0.02, "region {i} starved: f = {f}");
     }
     // Munich (tiny private region) must get the smallest share.
-    let f: Vec<f64> = (0..3).map(|i| tel.fraction(i).tail_stats(30).mean()).collect();
+    let f: Vec<f64> = (0..3)
+        .map(|i| tel.fraction(i).tail_stats(30).mean())
+        .collect();
     assert!(f[2] < f[0] && f[2] < f[1], "{f:?}");
 }
 

@@ -35,7 +35,11 @@ fn rep_tree_predictions_track_ground_truth_through_a_vm_lifetime() {
     };
     let (predictor, report) = toolchain.run(&db, &mut rng);
     assert_eq!(predictor.kind(), ModelKind::RepTree);
-    assert!(report.outcomes[0].metrics.r2 > 0.75, "{}", report.to_table());
+    assert!(
+        report.outcomes[0].metrics.r2 > 0.75,
+        "{}",
+        report.to_table()
+    );
 
     // Walk a fresh VM through its life at a rate seen in training and
     // check relative prediction error at several ages.

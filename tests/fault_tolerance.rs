@@ -30,12 +30,13 @@ fn control_loop_survives_a_mid_run_partition() {
     // Clients keep being served throughout.
     assert!(tel.total_completed() > 50_000);
     // After recovery the policy regains control and RMTTFs converge again.
-    assert!(tel.rmttf_spread(10) < 1.35, "spread {}", tel.rmttf_spread(10));
+    assert!(
+        tel.rmttf_spread(10) < 1.35,
+        "spread {}",
+        tel.rmttf_spread(10)
+    );
     // Response time never explodes, even during the partition.
-    let worst = tel
-        .global_response()
-        .values()
-        .fold(0.0_f64, f64::max);
+    let worst = tel.global_response().values().fold(0.0_f64, f64::max);
     assert!(worst < 1.5, "worst response {worst}");
 }
 
@@ -90,7 +91,11 @@ fn repeated_faults_heal_repeatedly() {
     assert_eq!(tel.eras(), 80);
     // In the 3-region mesh a single link failure never partitions: the
     // overlay reroutes and the run converges as usual.
-    assert!(tel.rmttf_spread(20) < 1.2, "spread {}", tel.rmttf_spread(20));
+    assert!(
+        tel.rmttf_spread(20) < 1.2,
+        "spread {}",
+        tel.rmttf_spread(20)
+    );
 }
 
 #[test]
@@ -100,12 +105,21 @@ fn transport_reroutes_around_failed_link_end_to_end() {
         (NodeId(0), NodeId(2), Duration::from_millis(30)),
         (NodeId(1), NodeId(2), Duration::from_millis(12)),
     ]));
-    assert_eq!(t.latency(NodeId(0), NodeId(2)), Some(Duration::from_millis(30)));
+    assert_eq!(
+        t.latency(NodeId(0), NodeId(2)),
+        Some(Duration::from_millis(30))
+    );
     t.fail_link(NodeId(0), NodeId(2));
     // Rerouted through Frankfurt: 25 + 12.
-    assert_eq!(t.latency(NodeId(0), NodeId(2)), Some(Duration::from_millis(37)));
+    assert_eq!(
+        t.latency(NodeId(0), NodeId(2)),
+        Some(Duration::from_millis(37))
+    );
     t.recover_link(NodeId(0), NodeId(2));
-    assert_eq!(t.latency(NodeId(0), NodeId(2)), Some(Duration::from_millis(30)));
+    assert_eq!(
+        t.latency(NodeId(0), NodeId(2)),
+        Some(Duration::from_millis(30))
+    );
 }
 
 #[test]

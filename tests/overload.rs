@@ -53,7 +53,11 @@ fn saturated_system_degrades_response_not_correctness() {
 #[test]
 fn light_load_baseline_is_snappy_and_stable() {
     let tel = run_experiment(&overload_cfg(32, 16));
-    assert!(tel.tail_response(20) < 0.1, "resp {}", tel.tail_response(20));
+    assert!(
+        tel.tail_response(20) < 0.1,
+        "resp {}",
+        tel.tail_response(20)
+    );
     // Under trivial load the VMs barely age: few rejuvenations.
     assert!(
         tel.total_proactive() + tel.total_reactive() < 20,

@@ -48,11 +48,20 @@ fn scripted_capacity_change_is_applied() {
     cfg.eras = 40;
     cfg.scenario = Scenario::new(vec![
         // Add two VMs to Munich and activate them at era 20.
-        ScheduledAction { at: t(600), action: ScenarioAction::AddVm { region: 1 } },
-        ScheduledAction { at: t(600), action: ScenarioAction::AddVm { region: 1 } },
         ScheduledAction {
             at: t(600),
-            action: ScenarioAction::SetTargetActive { region: 1, target: 5 },
+            action: ScenarioAction::AddVm { region: 1 },
+        },
+        ScheduledAction {
+            at: t(600),
+            action: ScenarioAction::AddVm { region: 1 },
+        },
+        ScheduledAction {
+            at: t(600),
+            action: ScenarioAction::SetTargetActive {
+                region: 1,
+                target: 5,
+            },
         },
     ]);
     let tel = run_experiment(&cfg);
@@ -86,8 +95,14 @@ fn scripted_link_fault_matches_link_fault_config() {
     let mut via_scenario = base(PolicyKind::AvailableResources);
     via_scenario.eras = 40;
     via_scenario.scenario = Scenario::new(vec![
-        ScheduledAction { at: t(300), action: ScenarioAction::FailLink { a: 0, b: 1 } },
-        ScheduledAction { at: t(600), action: ScenarioAction::RecoverLink { a: 0, b: 1 } },
+        ScheduledAction {
+            at: t(300),
+            action: ScenarioAction::FailLink { a: 0, b: 1 },
+        },
+        ScheduledAction {
+            at: t(600),
+            action: ScenarioAction::RecoverLink { a: 0, b: 1 },
+        },
     ]);
     let tel_scenario = run_experiment(&via_scenario);
 

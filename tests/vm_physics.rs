@@ -22,7 +22,11 @@ fn mttf_times_rate_is_nearly_load_invariant() {
     // itself does — the premise of the Available Resources policy (Eq. 3).
     let spec = FailureSpec::default();
     let cfg = AnomalyConfig::default();
-    for flavor in [VmFlavor::m3_medium(), VmFlavor::m3_small(), VmFlavor::private_munich()] {
+    for flavor in [
+        VmFlavor::m3_medium(),
+        VmFlavor::m3_small(),
+        VmFlavor::private_munich(),
+    ] {
         let qs: Vec<f64> = [5.0, 10.0, 20.0]
             .iter()
             .map(|&lambda| spec.mttf_at_rate(&flavor, &cfg, lambda) * lambda)
@@ -37,7 +41,11 @@ fn mttf_times_rate_is_nearly_load_invariant() {
         // While MTTF itself varies ~4x over the same range.
         let mttf_hi = spec.mttf_at_rate(&flavor, &cfg, 5.0);
         let mttf_lo = spec.mttf_at_rate(&flavor, &cfg, 20.0);
-        assert!(mttf_hi / mttf_lo > 2.5, "{}: MTTF barely moved", flavor.name);
+        assert!(
+            mttf_hi / mttf_lo > 2.5,
+            "{}: MTTF barely moved",
+            flavor.name
+        );
     }
 }
 
@@ -88,7 +96,10 @@ fn degradation_is_monotone_until_failure() {
     while vm.is_active() {
         let f = vm.features(now, lambda);
         let resident = f.get("resident_mb").unwrap();
-        assert!(resident >= last_resident, "resident set shrank without rejuvenation");
+        assert!(
+            resident >= last_resident,
+            "resident set shrank without rejuvenation"
+        );
         let rttf = vm.true_rttf(lambda);
         assert!(rttf <= last_rttf + 1.0, "RTTF grew under constant load");
         last_resident = resident;
@@ -156,7 +167,10 @@ fn response_time_rises_as_the_failure_point_nears() {
         last_healthy > 1.3 * first,
         "no degradation signal: first {first}, last healthy {last_healthy}"
     );
-    assert!(peak > 3.0 * first, "no failure spike: first {first}, peak {peak}");
+    assert!(
+        peak > 3.0 * first,
+        "no failure spike: first {first}, peak {peak}"
+    );
 }
 
 #[test]
@@ -173,7 +187,10 @@ fn heterogeneous_flavors_have_ordered_capacity() {
     let ireland = stock(&VmFlavor::m3_medium(), 5.0);
     let frankfurt = stock(&VmFlavor::m3_small(), 10.0);
     let munich = stock(&VmFlavor::private_munich(), 3.0);
-    assert!(ireland > frankfurt && frankfurt > munich, "{ireland} {frankfurt} {munich}");
+    assert!(
+        ireland > frankfurt && frankfurt > munich,
+        "{ireland} {frankfurt} {munich}"
+    );
     // And the imbalance is strong — this is a HIGHLY heterogeneous deploy.
     assert!(ireland / munich > 3.0);
 }

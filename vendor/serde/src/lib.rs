@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace compiles in a container without registry access, so the
+//! real serde cannot be fetched. Nothing in the workspace serialises through
+//! serde (all telemetry files are hand-written CSV/JSON), so marker traits
+//! and no-op derives are sufficient to keep every `#[derive(Serialize,
+//! Deserialize)]` compiling unchanged.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
