@@ -1,0 +1,139 @@
+//! Observability report over one experiment run.
+//!
+//! Runs a Figure-3 deployment with the in-process observability layer
+//! enabled, then prints the MAPE phase-timing table, the busiest metrics
+//! and the tail of the decision log, and writes the full structured event
+//! stream to `obs_report.jsonl` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p acm-bench --bin obs_report -- [--eras N] [--oracle]
+//! ```
+//!
+//! `--oracle` skips the F2PM training phase (CI's small scenario); the
+//! default reproduces the paper deployment with trained REP-Trees.
+
+use acm_core::config::{ExperimentConfig, PredictorChoice};
+use acm_core::framework::run_experiment_with_obs;
+use acm_core::policy::PolicyKind;
+use acm_obs::{HistogramSnapshot, MetricValue, Obs, ObsConfig};
+
+fn print_phase_row(label: &str, h: &HistogramSnapshot) {
+    println!(
+        "{:<12} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+        label,
+        h.count,
+        h.mean() / 1e3,
+        h.quantile(0.5) as f64 / 1e3,
+        h.quantile(0.99) as f64 / 1e3,
+        h.max as f64 / 1e3,
+    );
+}
+
+fn main() {
+    let mut eras = 120usize;
+    let mut oracle = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--eras" => {
+                eras = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--eras needs a positive integer");
+            }
+            "--oracle" => oracle = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: obs_report [--eras N] [--oracle]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 42);
+    cfg.eras = eras;
+    if oracle {
+        cfg.predictor = PredictorChoice::Oracle;
+    }
+    let obs = Obs::new(ObsConfig::default());
+    let tel = run_experiment_with_obs(&cfg, obs.clone());
+
+    println!(
+        "observability report — {} ({} eras)\n",
+        cfg.name,
+        tel.eras()
+    );
+
+    // ----- MAPE phase timing ----------------------------------------------
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "phase", "count", "mean_us", "p50_us", "p99_us", "max_us"
+    );
+    let metrics = obs.metrics();
+    for phase in ["monitor", "analyze", "plan", "execute", "era"] {
+        let name = format!("acm.core.control_loop.{phase}_ns");
+        if let Some(MetricValue::Histogram(h)) = metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value.clone())
+        {
+            print_phase_row(phase, &h);
+        }
+    }
+
+    // ----- busiest histograms ---------------------------------------------
+    let mut hists: Vec<(&str, HistogramSnapshot)> = metrics
+        .iter()
+        .filter(|m| !m.name.starts_with("acm.core.control_loop."))
+        .filter_map(|m| match &m.value {
+            MetricValue::Histogram(h) if h.count > 0 => Some((m.name.as_str(), *h.clone())),
+            _ => None,
+        })
+        .collect();
+    hists.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(b.0)));
+    println!("\ntop histograms (raw units)");
+    println!(
+        "{:<44} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "name", "count", "mean", "p50", "p99", "max"
+    );
+    for (name, h) in hists.iter().take(8) {
+        println!(
+            "{:<44} {:>8} {:>10.1} {:>10} {:>10} {:>10}",
+            name,
+            h.count,
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max,
+        );
+    }
+
+    // ----- counters --------------------------------------------------------
+    let mut counters: Vec<(&str, u64)> = metrics
+        .iter()
+        .filter_map(|m| match m.value {
+            MetricValue::Counter(v) if v > 0 => Some((m.name.as_str(), v)),
+            _ => None,
+        })
+        .collect();
+    counters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("\ncounters");
+    for (name, v) in &counters {
+        println!("{name:<44} {v:>12}");
+    }
+
+    // ----- decision-log tail -----------------------------------------------
+    println!(
+        "\ndecision log: {} events retained, {} dropped — last 15:",
+        obs.events_len(),
+        obs.events_dropped()
+    );
+    for ev in obs.events_tail(15) {
+        println!("{}", ev.to_json());
+    }
+
+    match std::fs::write("obs_report.jsonl", obs.events_jsonl()) {
+        Ok(()) => println!("\nwrote obs_report.jsonl"),
+        Err(e) => eprintln!("\nwarning: cannot write obs_report.jsonl: {e}"),
+    }
+}

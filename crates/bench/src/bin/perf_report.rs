@@ -3,21 +3,28 @@
 //! Runs fixed-seed workloads over every layer the hot-path overhaul
 //! touched — the event kernel (new arena queue vs the retained seed
 //! implementation), the discrete-event driver, request dispatch through
-//! `RegionSim`, leader policy steps, and REP-Tree training plus
-//! scalar-vs-batched prediction — and writes the numbers to
-//! `BENCH_PR1.json` at the repository root.
+//! `RegionSim`, leader policy steps, REP-Tree training plus
+//! scalar-vs-batched prediction, and the observability layer's no-op
+//! overhead — and writes the numbers to `BENCH_PR2.json` at the
+//! repository root.
 //!
 //! ```text
-//! cargo run --release -p acm-bench --bin perf_report
+//! cargo run --release -p acm-bench --bin perf_report [-- --obs-gate]
 //! ```
 //!
+//! `--obs-gate` runs only the observability overhead workload and exits
+//! nonzero if the no-op instruments cost more than 2 % on the 10k-event
+//! simulator chain (the CI regression check).
+//!
 //! Every workload is deterministic per its hard-coded seed; timings vary
-//! with the machine, the ratios (`*_speedup`) are the stable signal.
+//! with the machine, the ratios (`*_speedup`, `*_pct`) are the stable
+//! signal.
 
 use acm_core::config::ExperimentConfig;
 use acm_core::framework::run_experiment;
 use acm_core::policy::{uniform_fractions, LoadBalancingPolicy, PolicyKind};
 use acm_ml::model::{AnyModel, ModelKind};
+use acm_obs::{Obs, ObsConfig, ObsHandle};
 use acm_pcam::events::RegionSim;
 use acm_pcam::training::{collect_database, CollectionConfig};
 use acm_pcam::vmc::{RegionConfig, RttfSource};
@@ -25,7 +32,6 @@ use acm_sim::rng::SimRng;
 use acm_sim::sim::Simulator;
 use acm_sim::time::{Duration, SimTime};
 use acm_vm::{AnomalyConfig, FailureSpec, VmFlavor};
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -59,12 +65,12 @@ impl Report {
     }
 
     fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        for (i, (name, value)) in self.entries.iter().enumerate() {
-            let comma = if i + 1 < self.entries.len() { "," } else { "" };
-            let _ = writeln!(s, "  \"{name}\": {value:.3}{comma}");
+        let mut o = acm_obs::json::JsonObject::new();
+        for (name, value) in &self.entries {
+            o.field_f64(name, (value * 1000.0).round() / 1000.0);
         }
-        s.push_str("}\n");
+        let mut s = o.finish();
+        s.push('\n');
         s
     }
 }
@@ -295,6 +301,82 @@ fn rep_tree_workload(report: &mut Report) {
     report.push("rep_tree_predict_batch_speedup", scalar / batch);
 }
 
+/// Observability overhead on the 10k-event simulator chain, three ways:
+/// default inert handles (never wired), handles wired against a disabled
+/// `Obs` (the no-op mode), and a fully enabled `Obs` counting every queue
+/// push/pop. Returns the no-op overhead in percent — the number the
+/// `--obs-gate` CI check bounds at 2 %.
+fn obs_overhead_workload(report: &mut Report) -> f64 {
+    const N: u64 = 10_000;
+    const REPS: u32 = 32;
+    const ROUNDS: usize = 31;
+    fn chain(s: &mut Simulator<u64>) {
+        s.world += 1;
+        if s.world < 10_000 {
+            s.schedule_in(Duration::from_micros(10), chain);
+        }
+    }
+    fn run(obs: Option<&ObsHandle>) {
+        let mut sim = Simulator::new(0u64);
+        if let Some(o) = obs {
+            sim.set_obs(o);
+        }
+        sim.schedule_at(SimTime::ZERO, chain);
+        sim.run_to_completion(u64::MAX);
+        black_box(sim.world);
+    }
+    fn timed(obs: Option<&ObsHandle>) -> f64 {
+        let start = Instant::now();
+        for _ in 0..REPS {
+            run(obs);
+        }
+        start.elapsed().as_secs_f64() / REPS as f64
+    }
+    fn median(mut v: Vec<f64>) -> f64 {
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        v[v.len() / 2]
+    }
+    fn min(v: &[f64]) -> f64 {
+        v.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    // DVFS and scheduling drift dwarf a 2 % effect over a sequential
+    // A-then-B measurement, so the rounds interleave the three variants.
+    // Throughputs report the medians; the overhead ratios compare the
+    // per-variant minima — interference only ever adds time, so the round
+    // minimum is the robust estimate of the true cost.
+    let noop = Obs::noop();
+    let enabled = Obs::new(ObsConfig::default());
+    for _ in 0..2 {
+        run(None);
+        run(Some(&noop));
+        run(Some(&enabled));
+    }
+    let mut base_ts = Vec::with_capacity(ROUNDS);
+    let mut noop_ts = Vec::with_capacity(ROUNDS);
+    let mut enabled_ts = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        base_ts.push(timed(None));
+        noop_ts.push(timed(Some(&noop)));
+        enabled_ts.push(timed(Some(&enabled)));
+    }
+
+    let noop_pct = (min(&noop_ts) / min(&base_ts) - 1.0) * 100.0;
+    let enabled_pct = (min(&enabled_ts) / min(&base_ts) - 1.0) * 100.0;
+    report.push(
+        "obs_baseline_chain_events_per_s",
+        N as f64 / median(base_ts),
+    );
+    report.push("obs_noop_chain_events_per_s", N as f64 / median(noop_ts));
+    report.push(
+        "obs_enabled_chain_events_per_s",
+        N as f64 / median(enabled_ts),
+    );
+    report.push("obs_noop_overhead_pct", noop_pct);
+    report.push("obs_enabled_overhead_pct", enabled_pct);
+    noop_pct
+}
+
 /// Wall-clock of the Figure-3 experiment (the workload the acceptance
 /// criterion tracks end to end).
 fn fig3_workload(report: &mut Report) {
@@ -309,17 +391,29 @@ fn main() {
     let mut report = Report {
         entries: Vec::new(),
     };
+    if std::env::args().any(|a| a == "--obs-gate") {
+        println!("observability no-op overhead gate (10k-event chain)\n");
+        let pct = obs_overhead_workload(&mut report);
+        if pct > 2.0 {
+            eprintln!("\nFAIL: obs no-op overhead {pct:.2}% exceeds the 2% budget");
+            std::process::exit(1);
+        }
+        println!("\nOK: obs no-op overhead {pct:.2}% within the 2% budget");
+        return;
+    }
+
     println!("hot-path throughput report (fixed seeds, release build)\n");
     queue_workloads(&mut report);
     simulator_workload(&mut report);
     region_sim_workload(&mut report);
     policy_workload(&mut report);
     rep_tree_workload(&mut report);
+    obs_overhead_workload(&mut report);
     fig3_workload(&mut report);
 
     let json = report.to_json();
-    match std::fs::write("BENCH_PR1.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_PR1.json"),
-        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR1.json: {e}"),
+    match std::fs::write("BENCH_PR2.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_PR2.json"),
+        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR2.json: {e}"),
     }
 }

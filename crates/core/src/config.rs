@@ -17,6 +17,7 @@ use crate::autoscale::AutoscaleConfig;
 use crate::policy::PolicyKind;
 use crate::scenario::Scenario;
 use acm_ml::model::ModelKind;
+use acm_obs::ObsConfig;
 use acm_overlay::NodeId;
 use acm_pcam::RegionConfig;
 use acm_sim::time::{Duration, SimTime};
@@ -97,6 +98,10 @@ pub struct ExperimentConfig {
     /// TPC-W interaction mix driven by the emulated browsers; scales the
     /// per-request service demand (ordering mixes hit the database harder).
     pub mix: TpcwMix,
+    /// Observability configuration (spans, metrics, decision log). Defaults
+    /// on-but-cheap; instruments never feed back into the simulation, so a
+    /// run's telemetry is byte-identical with observability on or off.
+    pub obs: ObsConfig,
 }
 
 impl ExperimentConfig {
@@ -163,6 +168,7 @@ impl ExperimentConfig {
             link_faults: Vec::new(),
             scenario: Scenario::none(),
             mix: TpcwMix::Shopping,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -201,6 +207,7 @@ impl ExperimentConfig {
             link_faults: Vec::new(),
             scenario: Scenario::none(),
             mix: TpcwMix::Shopping,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -244,6 +251,7 @@ impl ExperimentConfig {
             spec.region.anomaly.validate()?;
         }
         self.scenario.validate(self.regions.len())?;
+        self.obs.validate()?;
         Ok(())
     }
 }

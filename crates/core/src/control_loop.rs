@@ -24,6 +24,7 @@ use crate::plan::ForwardPlan;
 use crate::policy::{uniform_fractions, LoadBalancingPolicy};
 use crate::scenario::{Scenario, ScenarioAction};
 use crate::telemetry::{ExperimentTelemetry, RegionEraRecord};
+use acm_obs::{Obs, ObsHandle, Timer, Value};
 use acm_overlay::{ElectionOutcome, Elector, NodeId, OverlayGraph, Transport};
 use acm_pcam::Vmc;
 use acm_sim::rng::SimRng;
@@ -56,12 +57,33 @@ pub struct ControlLoop {
     scenario: Scenario,
     rng: SimRng,
     telemetry: ExperimentTelemetry,
+    obs: ObsHandle,
+    era_timer: Timer,
+    monitor_timer: Timer,
+    analyze_timer: Timer,
+    plan_timer: Timer,
+    execute_timer: Timer,
 }
 
 impl ControlLoop {
     /// Wires the loop from pre-built VMCs (the framework module handles
-    /// predictor training and hands the VMCs in).
-    pub fn new(cfg: &ExperimentConfig, vmcs: Vec<Vmc>, mut rng: SimRng) -> Self {
+    /// predictor training and hands the VMCs in). Observability follows
+    /// `cfg.obs`; use [`ControlLoop::new_with_obs`] to share an existing
+    /// [`Obs`] instance instead.
+    pub fn new(cfg: &ExperimentConfig, vmcs: Vec<Vmc>, rng: SimRng) -> Self {
+        let obs = Obs::new(cfg.obs);
+        Self::new_with_obs(cfg, vmcs, rng, obs)
+    }
+
+    /// Like [`ControlLoop::new`] but instruments the loop (and every VMC,
+    /// the elector and the policy) against the caller's [`Obs`] instance,
+    /// so one registry aggregates the whole run.
+    pub fn new_with_obs(
+        cfg: &ExperimentConfig,
+        mut vmcs: Vec<Vmc>,
+        mut rng: SimRng,
+        obs: ObsHandle,
+    ) -> Self {
         cfg.validate().expect("invalid experiment config");
         assert_eq!(vmcs.len(), cfg.regions.len(), "one VMC per region");
         let n = cfg.regions.len();
@@ -79,15 +101,20 @@ impl ControlLoop {
         }
         let transport = Transport::new(graph);
         let mut elector = Elector::new();
+        elector.set_obs(&obs);
         elector.re_elect(transport.graph());
 
         let workloads = cfg.regions.iter().map(|r| r.workload()).collect();
         let names = cfg.regions.iter().map(|r| r.region.name.clone()).collect();
         let region_costs: Vec<f64> = cfg.regions.iter().map(|r| r.region.vm_hour_usd).collect();
-        let policy = LoadBalancingPolicy::new(cfg.policy)
+        let mut policy = LoadBalancingPolicy::new(cfg.policy)
             .with_k(cfg.k)
             .with_noise(cfg.exploration_noise)
             .with_region_costs(region_costs);
+        policy.set_obs(&obs);
+        for vmc in &mut vmcs {
+            vmc.set_obs(obs.clone());
+        }
 
         ControlLoop {
             era: cfg.era,
@@ -110,7 +137,18 @@ impl ControlLoop {
             rng: rng.split(),
             telemetry: ExperimentTelemetry::new(names),
             vmcs,
+            era_timer: obs.timer("acm.core.control_loop.era_ns"),
+            monitor_timer: obs.timer("acm.core.control_loop.monitor_ns"),
+            analyze_timer: obs.timer("acm.core.control_loop.analyze_ns"),
+            plan_timer: obs.timer("acm.core.control_loop.plan_ns"),
+            execute_timer: obs.timer("acm.core.control_loop.execute_ns"),
+            obs,
         }
+    }
+
+    /// The observability instance the loop records into.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Current simulated time.
@@ -145,6 +183,13 @@ impl ControlLoop {
     /// this is the policy-level version of that capability.
     pub fn set_policy(&mut self, kind: crate::policy::PolicyKind) {
         self.policy = self.policy.clone().with_kind(kind);
+        if self.obs.enabled() {
+            self.obs.emit(
+                self.now.as_micros(),
+                "policy.switch",
+                vec![("policy", Value::from(kind.to_string()))],
+            );
+        }
     }
 
     /// The current election outcome.
@@ -200,9 +245,24 @@ impl ControlLoop {
         self.recoveries_due = still_due;
 
         if changed {
-            self.elector.re_elect(self.transport.graph());
+            let (_, leader_changed) = self.elector.re_elect(self.transport.graph());
+            if leader_changed {
+                self.emit_leader_change();
+            }
         }
         changed
+    }
+
+    /// Logs the post-election leader (as seen from the first alive
+    /// partition) to the decision log.
+    fn emit_leader_change(&self) {
+        if self.obs.enabled() {
+            self.obs.emit(
+                self.now.as_micros(),
+                "leader.change",
+                vec![("leader", Value::from(self.leader_node().0))],
+            );
+        }
     }
 
     /// Applies every scenario action due at `now` (Sec. II's runtime
@@ -218,6 +278,13 @@ impl ControlLoop {
             match sa.action {
                 ScenarioAction::SwitchPolicy(kind) => {
                     self.policy = self.policy.clone().with_kind(kind);
+                    if self.obs.enabled() {
+                        self.obs.emit(
+                            now.as_micros(),
+                            "policy.switch",
+                            vec![("policy", Value::from(kind.to_string()))],
+                        );
+                    }
                 }
                 ScenarioAction::FailLink { a, b } => {
                     self.transport
@@ -241,7 +308,10 @@ impl ControlLoop {
             }
         }
         if topology_changed {
-            self.elector.re_elect(self.transport.graph());
+            let (_, leader_changed) = self.elector.re_elect(self.transport.graph());
+            if leader_changed {
+                self.emit_leader_change();
+            }
         }
     }
 
@@ -250,6 +320,7 @@ impl ControlLoop {
     // lock-step; iterator zips would obscure the alignment.
     #[allow(clippy::needless_range_loop)]
     pub fn step_era(&mut self) {
+        let _era_span = self.era_timer.start();
         let n = self.vmcs.len();
         let t_start = self.now;
         let t_end = t_start + self.era;
@@ -258,6 +329,7 @@ impl ControlLoop {
         self.apply_scenario();
 
         // ----- MONITOR: client ingress under the interactive law ----------
+        let monitor_span = self.monitor_timer.start();
         let lambda_in: Vec<f64> = (0..n)
             .map(|i| self.workloads[i].offered_rate(t_start, self.observed_response[i]))
             .collect();
@@ -279,36 +351,76 @@ impl ControlLoop {
             let lambda_proc = plan.realised_share(j) * lambda_total;
             reports.push(self.vmcs[j].process_era(t_start, self.era, lambda_proc));
         }
+        drop(monitor_span);
 
         // ----- ANALYZE: slaves report lastRMTTF to the leader --------------
+        let analyze_span = self.analyze_timer.start();
         let leader = self.leader_node();
         for j in 0..n {
             let node = ExperimentConfig::node_of(j);
             if self.transport.prepare_send(node, leader).is_some() {
                 self.received_rmttf[j] = reports[j].last_rmttf;
+            } else {
+                // Report lost; the leader keeps the stale value.
+                if self.obs.enabled() {
+                    self.obs.emit(
+                        t_end.as_micros(),
+                        "report.lost",
+                        vec![("region", Value::from(self.vmcs[j].name().to_string()))],
+                    );
+                }
             }
-            // else: report lost; the leader keeps the stale value.
         }
+        drop(analyze_span);
 
         // ----- PLAN (leader): Eq. 1 then POLICY() --------------------------
+        let plan_span = self.plan_timer.start();
         let rmttf_now: Vec<f64> = (0..n)
             .map(|j| self.estimators[j].update(self.received_rmttf[j]))
             .collect();
+        if self.obs.enabled() {
+            for j in 0..n {
+                self.obs.emit(
+                    t_end.as_micros(),
+                    "ewma.update",
+                    vec![
+                        ("region", Value::from(self.vmcs[j].name().to_string())),
+                        ("raw_s", Value::from(self.received_rmttf[j])),
+                        ("smoothed_s", Value::from(rmttf_now[j])),
+                    ],
+                );
+            }
+        }
         let target =
             self.policy
                 .next_fractions(&self.fractions, &rmttf_now, lambda_total, &mut self.rng);
+        drop(plan_span);
 
         // ----- EXECUTE: install the new plan, but only if EVERY region is
         // reachable — a global forward plan installed on a strict subset of
         // the load balancers would be inconsistent (fractions would no
         // longer sum to one across the regions actually applying them), so
         // the leader freezes the previous plan until connectivity returns.
+        let execute_span = self.execute_timer.start();
         let all_reachable = (0..n).all(|j| {
             self.transport
                 .prepare_send(leader, ExperimentConfig::node_of(j))
                 .is_some()
         });
         if all_reachable {
+            if self.obs.enabled() {
+                let fmt = |fs: &[f64]| {
+                    acm_obs::json::array(fs.iter().map(|f| acm_obs::json::fmt_f64(*f)))
+                };
+                self.obs.emit(
+                    t_end.as_micros(),
+                    "plan.install",
+                    vec![
+                        ("old", Value::from(fmt(&self.fractions))),
+                        ("new", Value::from(fmt(&target))),
+                    ],
+                );
+            }
             self.fractions = target;
         }
 
@@ -324,6 +436,7 @@ impl ControlLoop {
             );
             self.autoscalers[j] = scaler;
         }
+        drop(execute_span);
 
         // ----- client-observed response times for the next era -------------
         // A client attached to region i experiences the processing time of
@@ -540,6 +653,76 @@ mod tests {
             spread_after < 1.2,
             "switching to P2 should converge the system: {spread_after}"
         );
+    }
+
+    #[test]
+    fn observability_never_perturbs_the_run() {
+        // Instrumented and uninstrumented runs must yield byte-identical
+        // telemetry for the same seed: instruments observe, never steer.
+        let on = fig3_cfg(PolicyKind::Exploration);
+        let mut off = on.clone();
+        off.obs = acm_obs::ObsConfig::noop();
+        let mut a = oracle_loop(&on);
+        let mut b = oracle_loop(&off);
+        a.run(25);
+        b.run(25);
+        assert!(a.obs().events_len() > 0, "instrumented run logged nothing");
+        assert_eq!(b.obs().events_len(), 0, "noop run must log nothing");
+        assert_eq!(a.telemetry().to_csv(), b.telemetry().to_csv());
+    }
+
+    #[test]
+    fn decision_log_covers_plans_ewma_and_phase_timers() {
+        let cfg = fig3_cfg(PolicyKind::AvailableResources);
+        let mut cl = oracle_loop(&cfg);
+        cl.run(5);
+        let events = cl.obs().events_tail(usize::MAX);
+        let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
+        // Every era installs a plan (no faults) and smooths both regions.
+        assert_eq!(count("plan.install"), 5);
+        assert_eq!(count("ewma.update"), 10);
+        assert_eq!(count("report.lost"), 0);
+        // All four MAPE phases (and the era umbrella) timed every era.
+        let metrics = cl.obs().metrics();
+        for phase in ["era", "monitor", "analyze", "plan", "execute"] {
+            let name = format!("acm.core.control_loop.{phase}_ns");
+            let snap = metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            match &snap.value {
+                acm_obs::MetricValue::Histogram(h) => {
+                    assert_eq!(h.count, 5, "{name} samples");
+                }
+                other => panic!("{name} is not a histogram: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn policy_switch_and_partition_reach_the_decision_log() {
+        let mut cfg = fig3_cfg(PolicyKind::SensibleRouting);
+        cfg.link_faults = vec![LinkFault {
+            a: 0,
+            b: 1,
+            fail_at: SimTime::from_secs(60),
+            recover_at: SimTime::from_secs(120),
+        }];
+        let mut cl = oracle_loop(&cfg);
+        cl.run(3);
+        cl.set_policy(PolicyKind::AvailableResources);
+        cl.run(7);
+        let events = cl.obs().events_tail(usize::MAX);
+        let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
+        assert_eq!(count("policy.switch"), 1);
+        // The partition cut region 1 off the leader for two eras.
+        assert!(count("report.lost") > 0);
+        // Events carry simulated time, bounded by the run horizon. (They
+        // are logged in region order within an era, so timestamps are only
+        // monotone per region, not globally.)
+        let horizon = cl.now().as_micros();
+        assert!(events.iter().all(|e| e.t_us <= horizon));
+        assert_eq!(events.first().map(|e| e.seq), Some(0));
     }
 
     #[test]

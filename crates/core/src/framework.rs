@@ -86,12 +86,24 @@ pub fn build_vmcs(cfg: &ExperimentConfig, rng: &mut SimRng) -> Vec<Vmc> {
         .collect()
 }
 
-/// Runs a complete experiment and returns its telemetry.
+/// Runs a complete experiment and returns its telemetry. Observability
+/// follows `cfg.obs`; the recorded metrics and events die with the loop —
+/// use [`run_experiment_with_obs`] to inspect them afterwards.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentTelemetry {
+    let obs = acm_obs::Obs::new(cfg.obs);
+    run_experiment_with_obs(cfg, obs)
+}
+
+/// Like [`run_experiment`] but records spans, metrics and the decision log
+/// into the caller's [`acm_obs::Obs`] instance, which outlives the run.
+pub fn run_experiment_with_obs(
+    cfg: &ExperimentConfig,
+    obs: acm_obs::ObsHandle,
+) -> ExperimentTelemetry {
     cfg.validate().expect("invalid experiment config");
     let mut rng = SimRng::new(cfg.seed);
     let vmcs = build_vmcs(cfg, &mut rng);
-    let mut cl = ControlLoop::new(cfg, vmcs, rng);
+    let mut cl = ControlLoop::new_with_obs(cfg, vmcs, rng, obs);
     cl.run(cfg.eras);
     cl.into_telemetry()
 }

@@ -42,7 +42,7 @@ pub mod telemetry;
 pub use config::{ExperimentConfig, PredictorChoice, RegionSpec};
 pub use control_loop::ControlLoop;
 pub use ewma::RmttfEwma;
-pub use framework::run_experiment;
+pub use framework::{run_experiment, run_experiment_with_obs};
 pub use plan::ForwardPlan;
 pub use policy::{LoadBalancingPolicy, PolicyKind};
 pub use telemetry::ExperimentTelemetry;

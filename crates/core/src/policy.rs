@@ -24,6 +24,7 @@
 //! (nothing fails when nothing runs), deadlocking the estimator — the same
 //! reason the real system never routes strictly zero traffic anywhere.
 
+use acm_obs::{Counter, ObsHandle, Timer};
 use acm_sim::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
@@ -98,6 +99,9 @@ pub struct LoadBalancingPolicy {
     exploration_noise: f64,
     /// Per-region VM-hour prices (cost-aware extension only).
     region_costs: Option<Vec<f64>>,
+    /// Instrumentation; inert until [`LoadBalancingPolicy::set_obs`].
+    steps: Counter,
+    step_timer: Timer,
 }
 
 impl LoadBalancingPolicy {
@@ -108,7 +112,17 @@ impl LoadBalancingPolicy {
             k: 0.5,
             exploration_noise: 0.02,
             region_costs: None,
+            steps: Counter::default(),
+            step_timer: Timer::default(),
         }
+    }
+
+    /// Attaches observability: counts policy invocations
+    /// (`acm.core.policy.steps`) and times each step
+    /// (`acm.core.policy.step_ns`).
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.steps = obs.counter("acm.core.policy.steps");
+        self.step_timer = obs.timer("acm.core.policy.step_ns");
     }
 
     /// Replaces the policy kind, keeping every tuning knob (runtime policy
@@ -171,6 +185,8 @@ impl LoadBalancingPolicy {
     ) -> Vec<f64> {
         assert_eq!(prev.len(), rmttf.len(), "one RMTTF per region");
         assert!(!prev.is_empty(), "need at least one region");
+        let _span = self.step_timer.start();
+        self.steps.inc();
         let raw = match self.kind {
             PolicyKind::SensibleRouting => sensible_routing(rmttf),
             PolicyKind::AvailableResources => available_resources(prev, rmttf, lambda),

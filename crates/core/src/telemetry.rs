@@ -322,6 +322,36 @@ impl ExperimentTelemetry {
         }
         table.to_csv()
     }
+
+    /// Renders the telemetry as JSON Lines, one object per era. Shares the
+    /// JSON writer with the observability decision log, so the two streams
+    /// can be concatenated and post-processed by the same tooling.
+    pub fn to_jsonl(&self) -> String {
+        use acm_obs::json::{self, JsonObject};
+        let mut out = String::new();
+        for e in 0..self.eras {
+            let regions = json::array((0..self.region_names.len()).map(|i| {
+                let mut o = JsonObject::new();
+                o.field_str("name", &self.region_names[i])
+                    .field_f64("rmttf_s", self.rmttf[i].points()[e].value)
+                    .field_f64("fraction", self.fraction[i].points()[e].value)
+                    .field_f64("response_s", self.response[i].points()[e].value)
+                    .field_u64("active_vms", self.active_vms[i].points()[e].value as u64);
+                o.finish()
+            }));
+            let mut o = JsonObject::new();
+            o.field_u64("era", e as u64)
+                .field_u64("t_us", self.global_response.points()[e].t.as_micros())
+                .field_raw("regions", &regions)
+                .field_f64("global_response_s", self.global_response.points()[e].value)
+                .field_f64("lambda", self.global_lambda.points()[e].value)
+                .field_f64("plan_churn", self.plan_churn.points()[e].value)
+                .field_f64("remote_fraction", self.remote_fraction.points()[e].value);
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -497,6 +527,37 @@ mod tests {
             assert!(header.contains(col), "missing {col} in {header}");
         }
         assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_emits_one_valid_object_per_era() {
+        let mut tel = two_region();
+        tel.record_era(
+            t(30),
+            &[record(500.0, 0.7), record(480.0, 0.3)],
+            0.12,
+            60.0,
+            0.0,
+            0.1,
+        );
+        tel.record_era(
+            t(60),
+            &[record(510.0, 0.72), record(490.0, 0.28)],
+            0.11,
+            61.0,
+            0.05,
+            0.1,
+        );
+        let jsonl = tel.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(r#"{"era":0,"t_us":30000000,"#));
+        assert!(lines[0].contains(r#""name":"r1","rmttf_s":500"#));
+        assert!(lines[1].contains(r#""era":1"#));
+        assert!(lines[1].contains(r#""plan_churn":0.05"#));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Structured, seed-deterministic decision log.
+//!
+//! Every consequential control decision (rejuvenation triggered, STANDBY
+//! activation, leader change, plan install, EWMA update, …) is recorded
+//! as an [`EventRecord`]: a monotonically increasing sequence number, the
+//! *simulated* timestamp in microseconds, a static `kind` tag, and typed
+//! key/value fields. Records carry no wall-clock readings, so for a given
+//! seed the log is byte-identical across runs and machines — which is
+//! what makes it usable as a regression artifact.
+//!
+//! Storage is a fixed-capacity ring: once full, the oldest records are
+//! overwritten and counted in [`EventLog::dropped`]. Capacity 0 makes the
+//! log inert (used by the no-op hub).
+
+use crate::json::{push_escaped, push_f64, JsonObject};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A typed event-field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (ids, counts, thresholds in integral units).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Float (fractions, seconds, EWMA estimates).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Short label (policy/strategy names).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl Value {
+    fn push_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => push_f64(out, *v),
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(v) => push_escaped(out, v),
+        }
+    }
+}
+
+/// One recorded decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Monotonic sequence number (0-based, counts *all* events pushed,
+    /// including ones since overwritten).
+    pub seq: u64,
+    /// Simulated time of the decision, in microseconds.
+    pub t_us: u64,
+    /// Static event tag, dot-namespaced (e.g. `rejuvenation.proactive`).
+    pub kind: &'static str,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl EventRecord {
+    /// The record as one JSON object (`{"seq":…,"t_us":…,"kind":…,…fields}`).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("seq", self.seq)
+            .field_u64("t_us", self.t_us)
+            .field_str("kind", self.kind);
+        for (k, v) in &self.fields {
+            let mut raw = String::new();
+            v.push_json(&mut raw);
+            o.field_raw(k, &raw);
+        }
+        o.finish()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    records: VecDeque<EventRecord>,
+    seq: u64,
+    dropped: u64,
+}
+
+/// Fixed-capacity ring buffer of [`EventRecord`]s.
+#[derive(Debug)]
+pub struct EventLog {
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl EventLog {
+    /// A log retaining up to `capacity` records (0 = record nothing).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            ring: Mutex::new(Ring {
+                records: VecDeque::with_capacity(capacity.min(1024)),
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Appends one record, evicting the oldest when full.
+    pub fn push(&self, t_us: u64, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().unwrap();
+        let seq = ring.seq;
+        ring.seq += 1;
+        if ring.records.len() == self.capacity {
+            ring.records.pop_front();
+            ring.dropped += 1;
+        }
+        ring.records.push_back(EventRecord {
+            seq,
+            t_us,
+            kind,
+            fields,
+        });
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<EventRecord> {
+        let ring = self.ring.lock().unwrap();
+        let skip = ring.records.len().saturating_sub(n);
+        ring.records.iter().skip(skip).cloned().collect()
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().records.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// All retained records as JSON Lines, oldest first (empty string when
+    /// nothing is retained).
+    pub fn to_jsonl(&self) -> String {
+        let ring = self.ring.lock().unwrap();
+        let mut out = String::new();
+        for rec in &ring.records {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_with_sequence_numbers() {
+        let log = EventLog::new(8);
+        log.push(10, "a", vec![("x", Value::from(1u64))]);
+        log.push(20, "b", vec![("y", Value::from(2.5))]);
+        let all = log.tail(10);
+        assert_eq!(all.len(), 2);
+        assert_eq!((all[0].seq, all[0].t_us, all[0].kind), (0, 10, "a"));
+        assert_eq!((all[1].seq, all[1].t_us, all[1].kind), (1, 20, "b"));
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_dropped() {
+        let log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.push(i * 100, "tick", vec![("i", Value::from(i))]);
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let tail = log.tail(3);
+        assert_eq!(tail[0].seq, 2, "oldest retained is the 3rd pushed");
+        assert_eq!(tail[2].seq, 4);
+        // tail(n) with n < len returns the most recent n, oldest first.
+        let last_two = log.tail(2);
+        assert_eq!(last_two.len(), 2);
+        assert_eq!(last_two[0].seq, 3);
+        assert_eq!(last_two[1].seq, 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let log = EventLog::new(0);
+        log.push(1, "ignored", vec![]);
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.to_jsonl(), "");
+    }
+
+    #[test]
+    fn jsonl_serialization_covers_all_value_types() {
+        let log = EventLog::new(4);
+        log.push(
+            1_500_000,
+            "plan.install",
+            vec![
+                ("era", Value::from(12u64)),
+                ("delta", Value::I64(-3)),
+                ("frac", Value::from(0.6)),
+                ("changed", Value::from(true)),
+                ("policy", Value::from("oracle \"exact\"")),
+            ],
+        );
+        let line = log.to_jsonl();
+        assert_eq!(
+            line,
+            "{\"seq\":0,\"t_us\":1500000,\"kind\":\"plan.install\",\"era\":12,\
+             \"delta\":-3,\"frac\":0.6,\"changed\":true,\
+             \"policy\":\"oracle \\\"exact\\\"\"}\n"
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let log = EventLog::new(2);
+        log.push(0, "e", vec![("v", Value::F64(f64::NAN))]);
+        assert!(log.to_jsonl().contains("\"v\":null"));
+    }
+
+    #[test]
+    fn log_is_deterministic_for_identical_pushes() {
+        let mk = || {
+            let log = EventLog::new(16);
+            for i in 0..10u64 {
+                log.push(
+                    i * 7,
+                    "tick",
+                    vec![("i", Value::from(i)), ("f", Value::from(i as f64 / 3.0))],
+                );
+            }
+            log.to_jsonl()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal hand-rolled JSON writer.
+//!
+//! The workspace's vendored `serde` is marker-traits only (its derive
+//! expands to nothing), so every exporter in the repo writes JSON by
+//! hand. This module centralises the three things they all need —
+//! string escaping, deterministic `f64` formatting, and an object
+//! builder — so the event log, `ExperimentTelemetry::to_jsonl` and the
+//! bench binaries share one implementation.
+//!
+//! `f64` values use Rust's `Display` (shortest round-trip
+//! representation), which is deterministic across runs and platforms;
+//! non-finite values map to `null` since JSON has no NaN/infinity.
+
+/// Appends `s` to `out` as a JSON string literal (with surrounding
+/// quotes), escaping `"`, `\` and control characters.
+pub fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_escaped(&mut out, s);
+    out
+}
+
+/// Appends `v` to `out` as a JSON number (shortest round-trip form);
+/// non-finite values become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// `v` as JSON number text (`null` when non-finite).
+pub fn fmt_f64(v: f64) -> String {
+    let mut out = String::new();
+    push_f64(&mut out, v);
+    out
+}
+
+/// Incremental builder for one JSON object. Fields appear in insertion
+/// order; keys are escaped, values typed.
+///
+/// ```
+/// use acm_obs::json::JsonObject;
+/// let mut o = JsonObject::new();
+/// o.field_str("name", "fig3").field_u64("eras", 120).field_f64("p99_s", 0.25);
+/// assert_eq!(o.finish(), r#"{"name":"fig3","eras":120,"p99_s":0.25}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, key: &str) -> &mut String {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        push_escaped(&mut self.buf, key);
+        self.buf.push(':');
+        &mut self.buf
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, v: &str) -> &mut Self {
+        let buf = self.key(key);
+        push_escaped(buf, v);
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, key: &str, v: u64) -> &mut Self {
+        let buf = self.key(key);
+        buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a signed integer field.
+    pub fn field_i64(&mut self, key: &str, v: i64) -> &mut Self {
+        let buf = self.key(key);
+        buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, key: &str, v: f64) -> &mut Self {
+        let buf = self.key(key);
+        push_f64(buf, v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, key: &str, v: bool) -> &mut Self {
+        let buf = self.key(key);
+        buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (caller guarantees it is
+    /// valid JSON — e.g. an array built with [`fmt_f64`]/[`escape`]).
+    pub fn field_raw(&mut self, key: &str, json: &str) -> &mut Self {
+        let buf = self.key(key);
+        buf.push_str(json);
+        self
+    }
+
+    /// Closes and returns the object text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Joins pre-serialized JSON values into an array literal.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "\"plain\"");
+        assert_eq!(escape("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escape("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escape("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("λ=0.5"), "\"λ=0.5\"");
+    }
+
+    #[test]
+    fn f64_formatting_is_shortest_roundtrip_and_null_for_nonfinite() {
+        assert_eq!(fmt_f64(0.25), "0.25");
+        assert_eq!(fmt_f64(-3.0), "-3");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        // Round-trips exactly.
+        let v = 0.123_456_789_012_345_67_f64;
+        assert_eq!(fmt_f64(v).parse::<f64>().unwrap(), v);
+    }
+
+    #[test]
+    fn object_builder_orders_and_types_fields() {
+        let mut o = JsonObject::new();
+        o.field_str("kind", "plan.install")
+            .field_u64("era", 12)
+            .field_i64("delta", -3)
+            .field_f64("frac", 0.6)
+            .field_bool("ok", true)
+            .field_raw("xs", &array([fmt_f64(0.5), fmt_f64(0.5)]));
+        assert_eq!(
+            o.finish(),
+            r#"{"kind":"plan.install","era":12,"delta":-3,"frac":0.6,"ok":true,"xs":[0.5,0.5]}"#
+        );
+    }
+
+    #[test]
+    fn empty_object_and_empty_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+}

@@ -1,0 +1,279 @@
+//! In-process observability for the ACM framework.
+//!
+//! The workspace is built offline, so this crate vendors — with zero
+//! external dependencies — the three facilities a `tracing`/`metrics`
+//! stack would normally provide:
+//!
+//! * [`span`] — lightweight wall-clock span timers ([`Timer`] /
+//!   [`Span`]) for the Monitor → Analyze → Plan → Execute phases of every
+//!   control era, with nesting-depth tracking;
+//! * [`metrics`] — a global-free [`MetricsRegistry`] of named
+//!   [`Counter`]s, [`Gauge`]s and log₂-bucketed [`Hist`]ograms
+//!   (p50/p90/p99/max) for hot-path statistics;
+//! * [`event`] — a capacity-bounded, seed-deterministic [`EventLog`]
+//!   recording every consequential control decision (rejuvenations,
+//!   STANDBY activations, leader changes, plan installs, EWMA updates)
+//!   with a JSONL exporter;
+//! * [`json`] — the tiny hand-rolled JSON writer the event log and the
+//!   bench/telemetry exporters share (the vendored `serde` is marker-only).
+//!
+//! Everything hangs off an [`Obs`] handle created from an [`ObsConfig`].
+//! The default configuration is **on-but-cheap**: metrics are relaxed
+//! atomics, spans cost two `Instant` reads, and events go into a fixed
+//! ring. [`Obs::noop`] yields a disabled instance whose every operation
+//! reduces to one branch — its overhead on the hot simulator chain is
+//! benchmarked (< 2 %) by `perf_report --obs-gate`.
+//!
+//! Determinism: metrics and spans measure *wall-clock* (they never feed
+//! back into the model), while event records carry only *simulated* time
+//! and decision payloads — so the event log and every simulation output
+//! are byte-identical per seed whether observability is on or off.
+//!
+//! Metric names follow `acm.<crate>.<subsystem>.<metric>`; timer
+//! histograms record nanoseconds and conventionally end in `_ns`.
+//!
+//! ```
+//! use acm_obs::{Obs, ObsConfig, Value};
+//! let obs = Obs::new(ObsConfig::default());
+//! let dispatches = obs.counter("acm.pcam.pool.dispatch");
+//! dispatches.inc();
+//! {
+//!     let _era = obs.span("acm.core.control_loop.era_ns");
+//!     // ... timed work ...
+//! }
+//! obs.emit(30_000_000, "rejuvenation.proactive", vec![
+//!     ("vm", Value::from(3u64)),
+//!     ("predicted_rttf_s", Value::from(84.2)),
+//! ]);
+//! assert_eq!(dispatches.value(), 1);
+//! assert_eq!(obs.events_tail(1)[0].kind, "rejuvenation.proactive");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use event::{EventLog, EventRecord, Value};
+pub use metrics::{
+    Counter, Gauge, Hist, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry,
+};
+pub use span::{Span, Timer};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// How much observability a run carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record metrics, spans and events. When `false` every instrument is
+    /// inert (a single branch on the hot path).
+    pub enabled: bool,
+    /// Ring-buffer capacity of the structured event log; once full, the
+    /// oldest records are overwritten (and counted as dropped).
+    pub event_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    /// On-but-cheap: instruments live, 4096-event ring.
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            event_capacity: 4096,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// A disabled configuration (every instrument is a no-op).
+    pub fn noop() -> Self {
+        ObsConfig {
+            enabled: false,
+            event_capacity: 0,
+        }
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.enabled && self.event_capacity == 0 {
+            return Err("enabled observability needs event_capacity > 0".into());
+        }
+        Ok(())
+    }
+}
+
+/// Shared handle to one run's observability state.
+pub type ObsHandle = Arc<Obs>;
+
+/// The in-process observability hub: metrics registry + event log + span
+/// bookkeeping. Create one per run ([`Obs::new`]) and share it via
+/// [`ObsHandle`]; instruments resolved from it ([`Obs::counter`],
+/// [`Obs::timer`], …) are cheap clones safe to store on hot structs.
+#[derive(Debug)]
+pub struct Obs {
+    enabled: bool,
+    registry: MetricsRegistry,
+    events: EventLog,
+    span_depth: Arc<AtomicUsize>,
+}
+
+impl Obs {
+    /// Builds an observability hub from the configuration.
+    pub fn new(cfg: ObsConfig) -> ObsHandle {
+        cfg.validate().expect("invalid obs config");
+        Arc::new(Obs {
+            enabled: cfg.enabled,
+            registry: MetricsRegistry::new(cfg.enabled),
+            events: EventLog::new(if cfg.enabled { cfg.event_capacity } else { 0 }),
+            span_depth: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// The shared disabled instance: every operation is a no-op behind one
+    /// branch. Instrumented components default to this so un-observed use
+    /// stays allocation- and contention-free.
+    pub fn noop() -> ObsHandle {
+        static NOOP: OnceLock<ObsHandle> = OnceLock::new();
+        NOOP.get_or_init(|| Obs::new(ObsConfig::noop())).clone()
+    }
+
+    /// Whether this hub records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Resolves (or creates) the named counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Resolves (or creates) the named gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Resolves (or creates) the named histogram.
+    pub fn histogram(&self, name: &str) -> Hist {
+        self.registry.histogram(name)
+    }
+
+    /// Resolves a span timer over the named histogram (elapsed nanoseconds;
+    /// by convention the name ends in `_ns`). Resolve once, then
+    /// [`Timer::start`] per measurement.
+    pub fn timer(&self, name: &str) -> Timer {
+        Timer::new(self.histogram(name), self.span_depth.clone())
+    }
+
+    /// Opens a one-shot span over the named histogram (resolves the timer
+    /// each call; pre-resolve with [`Obs::timer`] on hot paths).
+    pub fn span(&self, name: &str) -> Span {
+        self.timer(name).start()
+    }
+
+    /// Current span nesting depth (0 outside all spans).
+    pub fn span_depth(&self) -> usize {
+        self.span_depth.load(Ordering::Relaxed)
+    }
+
+    /// Appends a structured event at simulated time `t_us` (microseconds).
+    /// Events must carry only seed-deterministic payloads — never
+    /// wall-clock readings — so logs are identical per seed.
+    pub fn emit(&self, t_us: u64, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        if self.enabled {
+            self.events.push(t_us, kind, fields);
+        }
+    }
+
+    /// Snapshot of every registered metric, sorted by name.
+    pub fn metrics(&self) -> Vec<MetricSnapshot> {
+        self.registry.snapshot()
+    }
+
+    /// The most recent `n` event records (oldest first).
+    pub fn events_tail(&self, n: usize) -> Vec<EventRecord> {
+        self.events.tail(n)
+    }
+
+    /// Events currently retained in the ring.
+    pub fn events_len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn events_dropped(&self) -> u64 {
+        self.events.dropped()
+    }
+
+    /// The retained event log as JSON Lines (one object per record).
+    pub fn events_jsonl(&self) -> String {
+        self.events.to_jsonl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_on_but_cheap() {
+        let cfg = ObsConfig::default();
+        assert!(cfg.enabled);
+        assert!(cfg.event_capacity > 0);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn noop_records_nothing() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        let c = obs.counter("acm.test.noop.counter");
+        c.inc();
+        c.add(10);
+        assert_eq!(c.value(), 0);
+        obs.gauge("acm.test.noop.gauge").set(3.5);
+        obs.histogram("acm.test.noop.hist").record(7);
+        {
+            let s = obs.span("acm.test.noop.span_ns");
+            assert!(!s.is_active());
+        }
+        obs.emit(1, "decision", vec![("x", Value::from(1u64))]);
+        assert!(obs.metrics().is_empty());
+        assert_eq!(obs.events_len(), 0);
+        assert_eq!(obs.events_jsonl(), "");
+    }
+
+    #[test]
+    fn enabled_hub_records_everything() {
+        let obs = Obs::new(ObsConfig::default());
+        obs.counter("acm.a.b.c").add(3);
+        obs.gauge("acm.a.b.g").set(1.25);
+        obs.histogram("acm.a.b.h").record(100);
+        obs.emit(5, "k", vec![("v", Value::from(true))]);
+        assert_eq!(obs.metrics().len(), 3);
+        assert_eq!(obs.events_len(), 1);
+        assert!(obs.events_jsonl().contains("\"kind\":\"k\""));
+    }
+
+    #[test]
+    fn counters_resolve_to_the_same_cell() {
+        let obs = Obs::new(ObsConfig::default());
+        let a = obs.counter("acm.x.y.z");
+        let b = obs.counter("acm.x.y.z");
+        a.inc();
+        b.inc();
+        assert_eq!(a.value(), 2);
+        assert_eq!(obs.metrics().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "event_capacity")]
+    fn enabled_zero_capacity_rejected() {
+        let _ = Obs::new(ObsConfig {
+            enabled: true,
+            event_capacity: 0,
+        });
+    }
+}

@@ -1,0 +1,536 @@
+//! The metrics registry: counters, gauges and log₂-bucketed histograms.
+//!
+//! All instruments are relaxed atomics so handles can be cloned onto hot
+//! structs and recorded through `&self` without locks; the registry's
+//! mutex is touched only at resolution time ([`MetricsRegistry::counter`]
+//! etc.), never on the record path. A registry created disabled hands out
+//! inert handles whose operations are a single branch.
+//!
+//! Histograms bucket by the base-2 logarithm of the recorded value
+//! (bucket 0 holds exactly 0; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`),
+//! which spans the full `u64` range in 65 buckets — a fixed 520-byte
+//! footprint with ~2× relative quantile error, the classic HDR trade-off
+//! for hot-path latency tracking.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets: one for zero plus one per power of two.
+pub const BUCKETS: usize = 65;
+
+// ---------------------------------------------------------------------------
+// cores (shared cells)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCore {
+    value: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCore {
+    bits: AtomicU64,
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistCore {
+    fn default() -> Self {
+        HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `64 - leading_zeros` (so 1 → 1,
+/// 2..=3 → 2, 4..=7 → 3, …, `u64::MAX` → 64).
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive value range covered by bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1u64 << 63, u64::MAX),
+        _ => (1u64 << (i - 1), (1u64 << i) - 1),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// handles
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter handle (inert when default-built or
+/// resolved from a disabled registry).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    core: Option<Arc<CounterCore>>,
+}
+
+impl Counter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.core {
+            c.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for inert handles).
+    pub fn value(&self) -> u64 {
+        self.core
+            .as_ref()
+            .map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    core: Option<Arc<GaugeCore>>,
+}
+
+impl Gauge {
+    /// Stores a new value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(c) = &self.core {
+            c.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 for inert handles).
+    pub fn value(&self) -> f64 {
+        self.core
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.bits.load(Ordering::Relaxed)))
+    }
+}
+
+/// A log₂-bucketed histogram handle.
+#[derive(Debug, Clone, Default)]
+pub struct Hist {
+    pub(crate) core: Option<Arc<HistCore>>,
+}
+
+impl Hist {
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let Some(c) = &self.core else { return };
+        c.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Point-in-time snapshot (empty for inert handles).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.core {
+            None => HistogramSnapshot::default(),
+            Some(c) => {
+                let mut s = HistogramSnapshot {
+                    count: c.count.load(Ordering::Relaxed),
+                    sum: c.sum.load(Ordering::Relaxed),
+                    min: c.min.load(Ordering::Relaxed),
+                    max: c.max.load(Ordering::Relaxed),
+                    buckets: [0; BUCKETS],
+                };
+                if s.count == 0 {
+                    s.min = 0;
+                }
+                for (i, b) in c.buckets.iter().enumerate() {
+                    s.buckets[i] = b.load(Ordering::Relaxed);
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Immutable summary of a histogram's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// Per-bucket observation counts (see [`bucket_of`] mapping).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// where the cumulative count crosses `q · count`, clamped to the true
+    /// observed `[min, max]`. Bucket granularity makes this exact to within
+    /// a factor of two.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(i).1.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another snapshot into this one (per-region → fleet rollups).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Entry {
+    Counter(Arc<CounterCore>),
+    Gauge(Arc<GaugeCore>),
+    Hist(Arc<HistCore>),
+}
+
+/// Snapshot value of one registered metric.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Last gauge value.
+    Gauge(f64),
+    /// Histogram summary (boxed: the bucket array dominates the enum).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// One `(name, value)` row of a registry snapshot.
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric name (`acm.<crate>.<subsystem>.<metric>`).
+    pub name: String,
+    /// Recorded state at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A global-free registry of named instruments. The mutex guards only
+/// name resolution; recording goes through the returned atomic handles.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    active: bool,
+    inner: Mutex<BTreeMap<String, Entry>>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry; a disabled one hands out inert handles and
+    /// snapshots empty.
+    pub fn new(active: bool) -> Self {
+        MetricsRegistry {
+            active,
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Gets or creates the named counter. Panics if the name is already
+    /// registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.active {
+            return Counter::default();
+        }
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Counter(Arc::new(CounterCore::default())));
+        match entry {
+            Entry::Counter(c) => Counter {
+                core: Some(c.clone()),
+            },
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// Gets or creates the named gauge. Panics on instrument-kind clash.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.active {
+            return Gauge::default();
+        }
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Gauge(Arc::new(GaugeCore::default())));
+        match entry {
+            Entry::Gauge(g) => Gauge {
+                core: Some(g.clone()),
+            },
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// Gets or creates the named histogram. Panics on instrument-kind
+    /// clash.
+    pub fn histogram(&self, name: &str) -> Hist {
+        if !self.active {
+            return Hist::default();
+        }
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let entry = map
+            .entry(name.to_string())
+            .or_insert_with(|| Entry::Hist(Arc::new(HistCore::default())));
+        match entry {
+            Entry::Hist(h) => Hist {
+                core: Some(h.clone()),
+            },
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Every registered metric with its current state, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        map.iter()
+            .map(|(name, entry)| MetricSnapshot {
+                name: name.clone(),
+                value: match entry {
+                    Entry::Counter(c) => MetricValue::Counter(c.value.load(Ordering::Relaxed)),
+                    Entry::Gauge(g) => {
+                        MetricValue::Gauge(f64::from_bits(g.bits.load(Ordering::Relaxed)))
+                    }
+                    Entry::Hist(h) => MetricValue::Histogram(Box::new(
+                        Hist {
+                            core: Some(h.clone()),
+                        }
+                        .snapshot(),
+                    )),
+                },
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> (MetricsRegistry, Hist) {
+        let reg = MetricsRegistry::new(true);
+        let h = reg.histogram("acm.test.hist.h");
+        (reg, h)
+    }
+
+    #[test]
+    fn bucket_mapping_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of((1 << 63) - 1), 63);
+        assert_eq!(bucket_of(1 << 63), 64);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Every bucket's bounds invert the mapping.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_saturation_at_u64_max() {
+        let (_reg, h) = hist();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.buckets[64], 2);
+        assert_eq!(s.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_zero_and_one() {
+        let (_reg, h) = hist();
+        h.record(0);
+        h.record(1);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.quantile(1.0), 1);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution_within_bucket_error() {
+        let (_reg, h) = hist();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        // Log buckets answer within a factor of two, clamped to [min, max].
+        let p50 = s.p50();
+        assert!((500..=1000).contains(&p50), "p50 {p50}");
+        let p99 = s.p99();
+        assert!((990..=1000).contains(&p99), "p99 {p99}");
+        assert_eq!(s.quantile(0.0), s.min.max(1));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let (_reg, h) = hist();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let (_reg, a) = hist();
+        let regb = MetricsRegistry::new(true);
+        let b = regb.histogram("acm.test.hist.b");
+        a.record(4);
+        a.record(8);
+        b.record(1);
+        b.record(1 << 40);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 4 + 8 + 1 + (1 << 40));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1 << 40);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[3], 1);
+        assert_eq!(s.buckets[4], 1);
+        assert_eq!(s.buckets[41], 1);
+        // Merging an empty snapshot is a no-op; merging into empty copies.
+        let before = s;
+        s.merge(&HistogramSnapshot::default());
+        assert_eq!(s, before);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let reg = MetricsRegistry::new(true);
+        let c = reg.counter("acm.test.reg.c");
+        c.add(41);
+        c.inc();
+        assert_eq!(c.value(), 42);
+        let g = reg.gauge("acm.test.reg.g");
+        g.set(-2.5);
+        assert_eq!(g.value(), -2.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(matches!(snap[0].value, MetricValue::Counter(42)));
+        assert!(matches!(snap[1].value, MetricValue::Gauge(v) if v == -2.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_clash_panics() {
+        let reg = MetricsRegistry::new(true);
+        let _ = reg.histogram("acm.test.clash");
+        let _ = reg.counter("acm.test.clash");
+    }
+
+    #[test]
+    fn inactive_registry_hands_out_inert_handles() {
+        let reg = MetricsRegistry::new(false);
+        let c = reg.counter("acm.test.inert");
+        c.add(100);
+        assert_eq!(c.value(), 0);
+        assert!(reg.snapshot().is_empty());
+    }
+}

@@ -14,6 +14,7 @@
 //! counts rounds/messages so the overhead can be benchmarked.
 
 use crate::graph::{NodeId, OverlayGraph};
+use acm_obs::{Counter, Hist, ObsHandle};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -85,6 +86,10 @@ pub fn elect(g: &OverlayGraph) -> ElectionOutcome {
 pub struct Elector {
     last: Option<ElectionOutcome>,
     elections_run: u64,
+    /// Instrumentation; inert until [`Elector::set_obs`].
+    hist_rounds: Hist,
+    hist_messages: Hist,
+    ctr_changes: Counter,
 }
 
 impl Elector {
@@ -93,15 +98,29 @@ impl Elector {
         Elector::default()
     }
 
+    /// Attaches observability: per-election round/message histograms
+    /// (`acm.overlay.election.rounds` / `.messages`) and a leadership-change
+    /// counter (`acm.overlay.election.leader_changes`).
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.hist_rounds = obs.histogram("acm.overlay.election.rounds");
+        self.hist_messages = obs.histogram("acm.overlay.election.messages");
+        self.ctr_changes = obs.counter("acm.overlay.election.leader_changes");
+    }
+
     /// Runs an election and returns `(outcome, leadership_changed)` where
     /// the flag compares the new leader map against the previous one.
     pub fn re_elect(&mut self, g: &OverlayGraph) -> (&ElectionOutcome, bool) {
         let outcome = elect(g);
         self.elections_run += 1;
+        self.hist_rounds.record(outcome.rounds as u64);
+        self.hist_messages.record(outcome.messages as u64);
         let changed = self
             .last
             .as_ref()
             .is_none_or(|prev| prev.leader_of != outcome.leader_of);
+        if changed {
+            self.ctr_changes.inc();
+        }
         self.last = Some(outcome);
         (self.last.as_ref().unwrap(), changed)
     }
@@ -212,5 +231,25 @@ mod tests {
         assert!(changed);
         assert_eq!(out.leaders(), vec![n(0)]);
         assert_eq!(e.elections_run(), 4);
+    }
+
+    #[test]
+    fn elector_metrics_count_elections_and_changes() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut g = triangle();
+        let mut e = Elector::new();
+        e.set_obs(&obs);
+        e.re_elect(&g); // change (first election)
+        e.re_elect(&g); // stable
+        g.fail_node(n(0));
+        e.re_elect(&g); // change
+        assert_eq!(
+            obs.counter("acm.overlay.election.leader_changes").value(),
+            2
+        );
+        let rounds = obs.histogram("acm.overlay.election.rounds").snapshot();
+        assert_eq!(rounds.count, 3, "every election records a round sample");
+        let messages = obs.histogram("acm.overlay.election.messages").snapshot();
+        assert!(messages.max >= messages.min);
     }
 }

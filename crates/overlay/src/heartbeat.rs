@@ -9,6 +9,7 @@
 //! leader failover happens within one timeout.
 
 use crate::graph::NodeId;
+use acm_obs::{Counter, ObsHandle};
 use acm_sim::time::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -54,6 +55,10 @@ pub struct FailureDetector {
     suspected: BTreeSet<NodeId>,
     /// Count of suspicion transitions (flap diagnostics).
     transitions: u64,
+    /// Instrumentation; inert until [`FailureDetector::set_obs`].
+    ctr_heartbeats: Counter,
+    ctr_suspicions: Counter,
+    ctr_rehabilitations: Counter,
 }
 
 impl FailureDetector {
@@ -70,7 +75,20 @@ impl FailureDetector {
             last_heard: peers.into_iter().map(|p| (p, now)).collect(),
             suspected: BTreeSet::new(),
             transitions: 0,
+            ctr_heartbeats: Counter::default(),
+            ctr_suspicions: Counter::default(),
+            ctr_rehabilitations: Counter::default(),
         }
+    }
+
+    /// Attaches observability: counts heartbeats received
+    /// (`acm.overlay.heartbeat.received`), new suspicions
+    /// (`acm.overlay.heartbeat.suspicions`) and rehabilitations
+    /// (`acm.overlay.heartbeat.rehabilitations`).
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.ctr_heartbeats = obs.counter("acm.overlay.heartbeat.received");
+        self.ctr_suspicions = obs.counter("acm.overlay.heartbeat.suspicions");
+        self.ctr_rehabilitations = obs.counter("acm.overlay.heartbeat.rehabilitations");
     }
 
     /// The configuration in force.
@@ -82,10 +100,12 @@ impl FailureDetector {
     /// speaks again is rehabilitated (eventually-perfect behaviour).
     /// Returns `true` if the peer was previously suspected.
     pub fn record_heartbeat(&mut self, from: NodeId, now: SimTime) -> bool {
+        self.ctr_heartbeats.inc();
         self.last_heard.insert(from, now);
         let was_suspected = self.suspected.remove(&from);
         if was_suspected {
             self.transitions += 1;
+            self.ctr_rehabilitations.inc();
         }
         was_suspected
     }
@@ -105,6 +125,7 @@ impl FailureDetector {
         for &p in &newly {
             self.suspected.insert(p);
             self.transitions += 1;
+            self.ctr_suspicions.inc();
         }
         newly
     }
@@ -189,6 +210,23 @@ mod tests {
         let mut fd = FailureDetector::new(cfg(), [n(1)], t(0));
         assert_eq!(fd.check(t(100)), vec![n(1)]);
         assert!(fd.check(t(200)).is_empty(), "no duplicate suspicion");
+    }
+
+    #[test]
+    fn detector_metrics_count_heartbeats_and_transitions() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut fd = FailureDetector::new(cfg(), [n(1), n(2)], t(0));
+        fd.set_obs(&obs);
+        fd.record_heartbeat(n(1), t(1));
+        fd.record_heartbeat(n(1), t(2));
+        fd.check(t(100)); // both silent past the timeout → 2 suspicions
+        fd.record_heartbeat(n(2), t(101)); // rehabilitates n2
+        assert_eq!(obs.counter("acm.overlay.heartbeat.received").value(), 3);
+        assert_eq!(obs.counter("acm.overlay.heartbeat.suspicions").value(), 2);
+        assert_eq!(
+            obs.counter("acm.overlay.heartbeat.rehabilitations").value(),
+            1
+        );
     }
 
     #[test]

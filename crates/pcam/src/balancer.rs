@@ -26,6 +26,15 @@ pub enum BalancerStrategy {
 }
 
 impl BalancerStrategy {
+    /// Stable display name (metric labels and the decision log).
+    pub fn name(self) -> &'static str {
+        match self {
+            BalancerStrategy::EqualShare => "equal-share",
+            BalancerStrategy::HealthWeighted => "health-weighted",
+            BalancerStrategy::CapacityWeighted => "capacity-weighted",
+        }
+    }
+
     /// Computes per-VM shares (summing to 1) for the given active VMs.
     ///
     /// `rttf_of` supplies the health signal for [`BalancerStrategy::HealthWeighted`]; it is a
@@ -136,6 +145,22 @@ mod tests {
         let refs: Vec<&Vm> = vms.iter().collect();
         let s = BalancerStrategy::CapacityWeighted.shares(&refs, t0(), 10.0, |v| v.true_rttf(10.0));
         assert!(s[1] >= s[0], "degraded VM should get no more: {s:?}");
+    }
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let names: Vec<&str> = [
+            BalancerStrategy::EqualShare,
+            BalancerStrategy::HealthWeighted,
+            BalancerStrategy::CapacityWeighted,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        assert_eq!(
+            names,
+            vec!["equal-share", "health-weighted", "capacity-weighted"]
+        );
     }
 
     #[test]

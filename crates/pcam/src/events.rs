@@ -8,6 +8,7 @@
 
 use crate::pool::{PoolCounts, VmPool};
 use crate::vmc::{RegionConfig, RttfSource};
+use acm_obs::{Counter, ObsHandle};
 use acm_sim::rng::SimRng;
 use acm_sim::time::SimTime;
 use acm_vm::service::RequestOutcome;
@@ -43,6 +44,8 @@ pub struct RegionSim {
     /// Requests begun but not yet finished (region grain, survives VM
     /// rejuvenation clearing the per-VM counters).
     inflight: u64,
+    /// Drop instrumentation; inert until [`RegionSim::set_obs`].
+    ctr_dropped: Counter,
 }
 
 impl RegionSim {
@@ -71,7 +74,16 @@ impl RegionSim {
             lambda_hint,
             stats: RegionSimStats::default(),
             inflight: 0,
+            ctr_dropped: Counter::default(),
         }
+    }
+
+    /// Attaches observability to this region and its pool: the pool's
+    /// dispatch/lifecycle counters plus `acm.pcam.region.dropped` for
+    /// requests rejected at dispatch.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.pool.set_obs(obs);
+        self.ctr_dropped = obs.counter("acm.pcam.region.dropped");
     }
 
     /// Pool census.
@@ -115,6 +127,7 @@ impl RegionSim {
         let active = self.pool.active_ids_cached();
         if active.is_empty() {
             self.stats.dropped += 1;
+            self.ctr_dropped.inc();
             return None;
         }
         let id = active[self.rr_next % active.len()];
@@ -127,6 +140,7 @@ impl RegionSim {
             }
             None => {
                 self.stats.dropped += 1;
+                self.ctr_dropped.inc();
                 None
             }
         }

@@ -5,6 +5,7 @@
 //! serving; standbys are promoted when actives rejuvenate or fail, and
 //! rejuvenated VMs come back as standbys.
 
+use acm_obs::{Counter, ObsHandle};
 use acm_sim::rng::SimRng;
 use acm_sim::time::SimTime;
 use acm_vm::service::RequestOutcome;
@@ -52,6 +53,11 @@ pub struct VmPool {
     /// ([`VmPool::active_ids_cached`]) allocation-free.
     active_cache: Vec<VmId>,
     active_dirty: bool,
+    /// Lifecycle/dispatch instrumentation; inert until [`VmPool::set_obs`].
+    ctr_dispatch: Counter,
+    ctr_activations: Counter,
+    ctr_demotions: Counter,
+    ctr_rejuv_completed: Counter,
 }
 
 impl VmPool {
@@ -98,9 +104,23 @@ impl VmPool {
             id_index: Vec::new(),
             active_cache: Vec::with_capacity(target_active),
             active_dirty: true,
+            ctr_dispatch: Counter::default(),
+            ctr_activations: Counter::default(),
+            ctr_demotions: Counter::default(),
+            ctr_rejuv_completed: Counter::default(),
         };
         pool.rebuild_index();
         pool
+    }
+
+    /// Attaches observability: request dispatch (`acm.pcam.pool.dispatch`)
+    /// and lifecycle transition counters (`acm.pcam.pool.activations` /
+    /// `.demotions` / `.rejuvenations_completed`).
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.ctr_dispatch = obs.counter("acm.pcam.pool.dispatch");
+        self.ctr_activations = obs.counter("acm.pcam.pool.activations");
+        self.ctr_demotions = obs.counter("acm.pcam.pool.demotions");
+        self.ctr_rejuv_completed = obs.counter("acm.pcam.pool.rejuvenations_completed");
     }
 
     /// Rebuilds the id → slot map from scratch (construction and the rare
@@ -185,6 +205,7 @@ impl VmPool {
         now: SimTime,
         lambda_hint: f64,
     ) -> Option<RequestOutcome> {
+        self.ctr_dispatch.inc();
         let slot = self.slot_of(id)?;
         let vm = &mut self.vms[slot];
         let out = vm.begin_request(now, lambda_hint);
@@ -267,6 +288,7 @@ impl VmPool {
         }
         if activated > 0 {
             self.active_dirty = true;
+            self.ctr_activations.add(activated as u64);
         }
         activated
     }
@@ -294,6 +316,7 @@ impl VmPool {
             self.vms[slot].deactivate(now);
         }
         self.active_dirty = true;
+        self.ctr_demotions.add(excess as u64);
         excess
     }
 
@@ -301,10 +324,15 @@ impl VmPool {
     /// (Rejuvenating → STANDBY never touches the ACTIVE set, so the
     /// dispatch cache stays valid.)
     pub fn poll_rejuvenations(&mut self, now: SimTime) -> usize {
-        self.vms
+        let finished: usize = self
+            .vms
             .iter_mut()
             .map(|v| usize::from(v.poll_rejuvenation(now)))
-            .sum()
+            .sum();
+        if finished > 0 {
+            self.ctr_rejuv_completed.add(finished as u64);
+        }
+        finished
     }
 
     /// Grows the pool with one fresh STANDBY VM (autoscaling ADDVMS path).
@@ -493,6 +521,30 @@ mod tests {
         p.demote_excess_active(t(121));
         assert_eq!(p.active_ids_cached().to_vec(), p.active_ids());
         assert_eq!(p.active_ids_cached().len(), 1);
+    }
+
+    #[test]
+    fn pool_metrics_count_dispatch_and_lifecycle() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut p = pool(4, 2);
+        p.set_obs(&obs);
+        let id = p.active_ids()[0];
+        p.begin_request(id, t(0), 5.0).expect("serves");
+        p.end_request(id);
+        p.vm_mut(id)
+            .unwrap()
+            .start_rejuvenation(t(0), Duration::from_secs(30));
+        p.replenish_active(t(0)); // promotes one standby
+        p.poll_rejuvenations(t(30)); // completes the rejuvenation
+        p.set_target_active(1);
+        p.demote_excess_active(t(31)); // demotes one active
+        assert_eq!(obs.counter("acm.pcam.pool.dispatch").value(), 1);
+        assert_eq!(obs.counter("acm.pcam.pool.activations").value(), 1);
+        assert_eq!(
+            obs.counter("acm.pcam.pool.rejuvenations_completed").value(),
+            1
+        );
+        assert_eq!(obs.counter("acm.pcam.pool.demotions").value(), 1);
     }
 
     #[test]

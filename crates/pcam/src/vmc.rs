@@ -10,6 +10,7 @@
 use crate::balancer::BalancerStrategy;
 use crate::pool::{PoolCounts, VmPool};
 use acm_ml::toolchain::RttfPredictor;
+use acm_obs::{Obs, ObsHandle, Timer, Value};
 use acm_sim::rng::SimRng;
 use acm_sim::stats::OnlineStats;
 use acm_sim::time::{Duration, SimTime};
@@ -135,6 +136,11 @@ pub struct Vmc {
     /// Lifetime counters.
     proactive_total: u64,
     reactive_total: u64,
+    /// Observability hub (the shared no-op by default) plus pre-resolved
+    /// timers for the balancer and the proactive rejuvenation scan.
+    obs: ObsHandle,
+    balancer_timer: Timer,
+    rejuv_scan_timer: Timer,
 }
 
 impl Vmc {
@@ -154,7 +160,22 @@ impl Vmc {
             rttf_source,
             proactive_total: 0,
             reactive_total: 0,
+            obs: Obs::noop(),
+            balancer_timer: Timer::default(),
+            rejuv_scan_timer: Timer::default(),
         }
+    }
+
+    /// Attaches observability to this controller and its pool: balancer /
+    /// rejuvenation-scan timers (`acm.pcam.balancer.shares_ns`,
+    /// `acm.pcam.vmc.rejuvenation_scan_ns`) and the decision events
+    /// (`rejuvenation.proactive`, `rejuvenation.reactive`,
+    /// `standby.activate`).
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.balancer_timer = obs.timer("acm.pcam.balancer.shares_ns");
+        self.rejuv_scan_timer = obs.timer("acm.pcam.vmc.rejuvenation_scan_ns");
+        self.pool.set_obs(&obs);
+        self.obs = obs;
     }
 
     /// Region name.
@@ -241,12 +262,24 @@ impl Vmc {
     ) -> RegionEraReport {
         // (1) housekeeping.
         self.pool.poll_rejuvenations(now);
-        self.pool.replenish_active(now);
+        let activated = self.pool.replenish_active(now);
+        if activated > 0 && self.obs.enabled() {
+            self.obs.emit(
+                now.as_micros(),
+                "standby.activate",
+                vec![
+                    ("region", Value::from(self.config.name.as_str())),
+                    ("count", Value::from(activated)),
+                    ("reason", Value::from("housekeeping")),
+                ],
+            );
+        }
         self.pool.demote_excess_active(now);
 
         // (2) balance.
         let active_ids = self.pool.active_ids();
         let shares = {
+            let _span = self.balancer_timer.start();
             let active: Vec<&Vm> = active_ids
                 .iter()
                 .map(|id| self.pool.vm(*id).expect("active id"))
@@ -293,13 +326,36 @@ impl Vmc {
 
         // (4) reactive recovery.
         let mut reactive = 0;
+        let obs = &self.obs;
+        let region_name = self.config.name.as_str();
         for vm in self.pool.vms_mut() {
             if matches!(vm.state(), VmState::Failed { .. }) {
                 vm.start_rejuvenation(end, self.config.rejuvenation_time);
                 reactive += 1;
+                if obs.enabled() {
+                    obs.emit(
+                        end.as_micros(),
+                        "rejuvenation.reactive",
+                        vec![
+                            ("region", Value::from(region_name)),
+                            ("vm", Value::from(vm.id().0)),
+                        ],
+                    );
+                }
             }
         }
-        self.pool.replenish_active(end);
+        let activated = self.pool.replenish_active(end);
+        if activated > 0 && self.obs.enabled() {
+            self.obs.emit(
+                end.as_micros(),
+                "standby.activate",
+                vec![
+                    ("region", Value::from(self.config.name.as_str())),
+                    ("count", Value::from(activated)),
+                    ("reason", Value::from("reactive")),
+                ],
+            );
+        }
 
         // (5) proactive rejuvenation. Candidates come only from this era's
         // serving set (`vm_lambdas`) and their predictions are fixed at
@@ -310,6 +366,7 @@ impl Vmc {
         let mut proactive = 0;
         let mut spares = self.pool.counts().standby;
         if spares > 0 {
+            let _span = self.rejuv_scan_timer.start();
             let mut candidates: Vec<(f64, acm_vm::VmId)> = Vec::with_capacity(vm_lambdas.len());
             {
                 let mut pairs: Vec<(&Vm, f64)> = Vec::with_capacity(vm_lambdas.len());
@@ -336,7 +393,7 @@ impl Vmc {
             // Stable sort: equal RTTFs keep serving order, matching the old
             // first-on-tie rescan.
             candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite RTTF"));
-            for (_, id) in candidates {
+            for (rttf, id) in candidates {
                 if spares == 0 {
                     break; // no spare to take over: keep serving
                 }
@@ -346,7 +403,30 @@ impl Vmc {
                     .start_rejuvenation(end, self.config.rejuvenation_time);
                 proactive += 1;
                 spares -= 1;
-                self.pool.replenish_active(end);
+                if self.obs.enabled() {
+                    self.obs.emit(
+                        end.as_micros(),
+                        "rejuvenation.proactive",
+                        vec![
+                            ("region", Value::from(self.config.name.as_str())),
+                            ("vm", Value::from(id.0)),
+                            ("predicted_rttf_s", Value::from(rttf)),
+                            ("threshold_s", Value::from(threshold)),
+                        ],
+                    );
+                }
+                let activated = self.pool.replenish_active(end);
+                if activated > 0 && self.obs.enabled() {
+                    self.obs.emit(
+                        end.as_micros(),
+                        "standby.activate",
+                        vec![
+                            ("region", Value::from(self.config.name.as_str())),
+                            ("count", Value::from(activated)),
+                            ("reason", Value::from("takeover")),
+                        ],
+                    );
+                }
             }
         }
 
@@ -470,6 +550,56 @@ mod tests {
         // But the pool recovers to target afterwards.
         let last_active = reports.last().unwrap().active_vms;
         assert!(last_active >= 3);
+    }
+
+    #[test]
+    fn proactive_rejuvenations_are_logged_with_prediction_and_threshold() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut vmc = mk_vmc(6, 4, RttfSource::Oracle);
+        vmc.set_obs(obs.clone());
+        run_eras(&mut vmc, 60, 40.0);
+        assert!(vmc.proactive_total() > 0, "scenario must rejuvenate");
+        let rejuv: Vec<_> = obs
+            .events_tail(usize::MAX)
+            .into_iter()
+            .filter(|e| e.kind == "rejuvenation.proactive")
+            .collect();
+        assert_eq!(rejuv.len() as u64, vmc.proactive_total());
+        let threshold = vmc.config().rttf_threshold.as_secs_f64();
+        for e in &rejuv {
+            let get = |k: &str| {
+                e.fields
+                    .iter()
+                    .find(|(name, _)| *name == k)
+                    .unwrap_or_else(|| panic!("missing field {k}"))
+                    .1
+                    .clone()
+            };
+            assert_eq!(get("region"), acm_obs::Value::from("test-region"));
+            let acm_obs::Value::F64(rttf) = get("predicted_rttf_s") else {
+                panic!("predicted_rttf_s must be a float")
+            };
+            assert!(rttf < threshold, "logged rttf {rttf} >= {threshold}");
+            assert_eq!(get("threshold_s"), acm_obs::Value::from(threshold));
+        }
+        // Balancer and scan timers collected wall-clock samples.
+        assert!(
+            obs.histogram("acm.pcam.balancer.shares_ns")
+                .snapshot()
+                .count
+                >= 60
+        );
+        assert!(
+            obs.histogram("acm.pcam.vmc.rejuvenation_scan_ns")
+                .snapshot()
+                .count
+                > 0
+        );
+        // Takeovers show up as standby activations.
+        assert!(obs
+            .events_tail(usize::MAX)
+            .iter()
+            .any(|e| e.kind == "standby.activate"));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::event::{EventId, EventQueue};
 use crate::time::{Duration, SimTime};
+use acm_obs::{Counter, ObsHandle};
 
 type Handler<W> = Box<dyn FnOnce(&mut Simulator<W>)>;
 
@@ -44,6 +45,10 @@ pub struct Simulator<W> {
     /// The model state. Public so event handlers can reach it directly.
     pub world: W,
     executed: u64,
+    /// Queue instrumentation; inert (one branch per operation) until
+    /// [`Simulator::set_obs`] resolves live handles.
+    ctr_push: Counter,
+    ctr_pop: Counter,
 }
 
 impl<W> Simulator<W> {
@@ -54,7 +59,17 @@ impl<W> Simulator<W> {
             queue: EventQueue::new(),
             world,
             executed: 0,
+            ctr_push: Counter::default(),
+            ctr_pop: Counter::default(),
         }
+    }
+
+    /// Attaches observability: counts queue pushes (`acm.sim.queue.push`)
+    /// and pops (`acm.sim.queue.pop`). Metrics never feed back into the
+    /// model, so attaching this cannot perturb determinism.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.ctr_push = obs.counter("acm.sim.queue.push");
+        self.ctr_pop = obs.counter("acm.sim.queue.pop");
     }
 
     /// Current simulated time.
@@ -85,6 +100,7 @@ impl<W> Simulator<W> {
             "cannot schedule into the past ({at} < {})",
             self.now
         );
+        self.ctr_push.inc();
         self.queue.schedule(at, Box::new(handler))
     }
 
@@ -95,6 +111,7 @@ impl<W> Simulator<W> {
         handler: impl FnOnce(&mut Simulator<W>) + 'static,
     ) -> EventId {
         let at = self.now + delay;
+        self.ctr_push.inc();
         self.queue.schedule(at, Box::new(handler))
     }
 
@@ -111,6 +128,7 @@ impl<W> Simulator<W> {
                 debug_assert!(at >= self.now);
                 self.now = at;
                 self.executed += 1;
+                self.ctr_pop.inc();
                 handler(self);
                 true
             }
@@ -289,6 +307,19 @@ mod tests {
         assert_eq!(sim.world.counter, 5);
         // Ticks at t = 1, 3, 5, 7, 9.
         assert_eq!(sim.now(), t(9));
+    }
+
+    #[test]
+    fn queue_counters_track_pushes_and_pops() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut sim = Simulator::new(World::default());
+        sim.set_obs(&obs);
+        for i in 1..=5 {
+            sim.schedule_at(t(i), |s| s.world.counter += 1);
+        }
+        sim.run_to_completion(100);
+        assert_eq!(obs.counter("acm.sim.queue.push").value(), 5);
+        assert_eq!(obs.counter("acm.sim.queue.pop").value(), 5);
     }
 
     #[test]
