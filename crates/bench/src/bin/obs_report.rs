@@ -122,6 +122,21 @@ fn main() {
         println!("{name:<44} {v:>12}");
     }
 
+    // ----- pool state (gauges) ---------------------------------------------
+    let gauges: Vec<(&str, f64)> = metrics
+        .iter()
+        .filter_map(|m| match m.value {
+            MetricValue::Gauge(v) => Some((m.name.as_str(), v)),
+            _ => None,
+        })
+        .collect();
+    if !gauges.is_empty() {
+        println!("\npool state at end of run (gauges)");
+        for (name, v) in &gauges {
+            println!("{name:<44} {v:>12.1}");
+        }
+    }
+
     // ----- decision-log tail -----------------------------------------------
     println!(
         "\ndecision log: {} events retained, {} dropped — last 15:",

@@ -4,17 +4,24 @@
 //! touched — the event kernel (new arena queue vs the retained seed
 //! implementation), the discrete-event driver, request dispatch through
 //! `RegionSim`, leader policy steps, REP-Tree training plus
-//! scalar-vs-batched prediction, and the observability layer's no-op
-//! overhead — and writes the numbers to `BENCH_PR2.json` at the
-//! repository root.
+//! scalar-vs-batched prediction, the observability layer's overhead, and
+//! the execution pool's thread-scaling curve — and writes the numbers to
+//! `BENCH_PR3.json` at the repository root.
 //!
 //! ```text
-//! cargo run --release -p acm-bench --bin perf_report [-- --obs-gate]
+//! cargo run --release -p acm-bench --bin perf_report [-- --obs-gate] [--batch-gate] [--scaling-gate]
 //! ```
 //!
-//! `--obs-gate` runs only the observability overhead workload and exits
-//! nonzero if the no-op instruments cost more than 2 % on the 10k-event
-//! simulator chain (the CI regression check).
+//! Gate modes (the CI regression checks; each runs only its workload and
+//! exits nonzero on violation):
+//!
+//! * `--obs-gate` — no-op instruments must cost < 2 % and fully enabled
+//!   observability < 25 % on the 10k-event simulator chain;
+//! * `--batch-gate` — batched REP-Tree prediction must be at least as
+//!   fast as the scalar walk (speedup ≥ 1.0);
+//! * `--scaling-gate` — the parallel training-set harvest must reach
+//!   ≥ 3× at 4 threads, checked only when the machine has ≥ 4 cores
+//!   (skipped, exit 0, otherwise — a 1-core container cannot scale).
 //!
 //! Every workload is deterministic per its hard-coded seed; timings vary
 //! with the machine, the ratios (`*_speedup`, `*_pct`) are the stable
@@ -260,8 +267,9 @@ fn policy_workload(report: &mut Report) {
 }
 
 /// REP-Tree: training on a harvested database, then scalar vs batched
-/// prediction over an era-sized block.
-fn rep_tree_workload(report: &mut Report) {
+/// prediction over an era-sized block. Returns the batch-over-scalar
+/// speedup (the `--batch-gate` number).
+fn rep_tree_workload(report: &mut Report) -> f64 {
     let mut rng = SimRng::new(2016);
     let db = collect_database(
         &VmFlavor::m3_medium(),
@@ -299,14 +307,88 @@ fn rep_tree_workload(report: &mut Report) {
     report.push("rep_tree_predict_scalar_rows_per_s", ROWS as f64 / scalar);
     report.push("rep_tree_predict_batch_rows_per_s", ROWS as f64 / batch);
     report.push("rep_tree_predict_batch_speedup", scalar / batch);
+    scalar / batch
+}
+
+/// Thread-scaling curve of the execution pool over the two parallel
+/// workloads this PR introduced: the per-seed training-set harvest
+/// (`collect_database`, one task per `(lambda, run)`) and the per-family
+/// toolchain fit. Sweeps `ACM_THREADS` ∈ {1, 2, 4, available} via
+/// [`acm_exec::configure_threads`] and reports the speedup of each point
+/// over the single-thread run. Returns the 4-thread harvest speedup (the
+/// `--scaling-gate` number; `NaN` when the sweep never reaches 4 threads).
+fn scaling_workload(report: &mut Report) -> f64 {
+    let avail = acm_exec::available_threads();
+    report.push("scaling_threads_available", avail as f64);
+    let mut points = vec![1usize, 2, 4, avail];
+    points.sort_unstable();
+    points.dedup();
+
+    let flavor = VmFlavor::m3_medium();
+    let anomaly = AnomalyConfig::default();
+    let failure = FailureSpec::default();
+    let collection = CollectionConfig::default();
+    let harvest = |threads: usize| {
+        acm_exec::configure_threads(threads);
+        let t = time_it(2, 5, || {
+            let mut rng = SimRng::new(2016);
+            black_box(collect_database(
+                &flavor,
+                &anomaly,
+                &failure,
+                &collection,
+                &mut rng,
+            ));
+        });
+        acm_exec::configure_threads(0); // back to the env/core default
+        t
+    };
+    let mut rng = SimRng::new(2016);
+    let db = collect_database(&flavor, &anomaly, &failure, &collection, &mut rng);
+    let toolchain = acm_ml::toolchain::F2pmToolchain::default();
+    let fit = |threads: usize| {
+        acm_exec::configure_threads(threads);
+        let t = time_it(1, 3, || {
+            let mut r = SimRng::new(5);
+            black_box(toolchain.run(black_box(&db), &mut r));
+        });
+        acm_exec::configure_threads(0);
+        t
+    };
+
+    let mut harvest_base = f64::NAN;
+    let mut fit_base = f64::NAN;
+    let mut gate = f64::NAN;
+    for &threads in &points {
+        let h = harvest(threads);
+        let f = fit(threads);
+        if threads == 1 {
+            harvest_base = h;
+            fit_base = f;
+        }
+        report.push(&format!("scaling_harvest_{threads}t_per_s"), 1.0 / h);
+        report.push(&format!("scaling_toolchain_fit_{threads}t_per_s"), 1.0 / f);
+        report.push(
+            &format!("scaling_harvest_speedup_{threads}t"),
+            harvest_base / h,
+        );
+        report.push(
+            &format!("scaling_toolchain_fit_speedup_{threads}t"),
+            fit_base / f,
+        );
+        if threads == 4 {
+            gate = harvest_base / h;
+        }
+    }
+    gate
 }
 
 /// Observability overhead on the 10k-event simulator chain, three ways:
 /// default inert handles (never wired), handles wired against a disabled
 /// `Obs` (the no-op mode), and a fully enabled `Obs` counting every queue
-/// push/pop. Returns the no-op overhead in percent — the number the
-/// `--obs-gate` CI check bounds at 2 %.
-fn obs_overhead_workload(report: &mut Report) -> f64 {
+/// push/pop. Returns the (no-op, enabled) overheads in percent — the
+/// numbers the `--obs-gate` CI check bounds at 2 % and 25 %.
+fn obs_overhead_workload(report: &mut Report) -> (f64, f64) {
     const N: u64 = 10_000;
     const REPS: u32 = 32;
     const ROUNDS: usize = 31;
@@ -374,7 +456,7 @@ fn obs_overhead_workload(report: &mut Report) -> f64 {
     );
     report.push("obs_noop_overhead_pct", noop_pct);
     report.push("obs_enabled_overhead_pct", enabled_pct);
-    noop_pct
+    (noop_pct, enabled_pct)
 }
 
 /// Wall-clock of the Figure-3 experiment (the workload the acceptance
@@ -392,13 +474,44 @@ fn main() {
         entries: Vec::new(),
     };
     if std::env::args().any(|a| a == "--obs-gate") {
-        println!("observability no-op overhead gate (10k-event chain)\n");
-        let pct = obs_overhead_workload(&mut report);
-        if pct > 2.0 {
-            eprintln!("\nFAIL: obs no-op overhead {pct:.2}% exceeds the 2% budget");
+        println!("observability overhead gate (10k-event chain)\n");
+        let (noop_pct, enabled_pct) = obs_overhead_workload(&mut report);
+        if noop_pct > 2.0 {
+            eprintln!("\nFAIL: obs no-op overhead {noop_pct:.2}% exceeds the 2% budget");
             std::process::exit(1);
         }
-        println!("\nOK: obs no-op overhead {pct:.2}% within the 2% budget");
+        if enabled_pct > 25.0 {
+            eprintln!("\nFAIL: obs enabled overhead {enabled_pct:.2}% exceeds the 25% budget");
+            std::process::exit(1);
+        }
+        println!(
+            "\nOK: obs no-op overhead {noop_pct:.2}% (budget 2%), enabled {enabled_pct:.2}% (budget 25%)"
+        );
+        return;
+    }
+    if std::env::args().any(|a| a == "--batch-gate") {
+        println!("REP-Tree batched-prediction gate\n");
+        let speedup = rep_tree_workload(&mut report);
+        if speedup < 1.0 {
+            eprintln!("\nFAIL: batch prediction speedup {speedup:.3} is below 1.0");
+            std::process::exit(1);
+        }
+        println!("\nOK: batch prediction speedup {speedup:.3} >= 1.0");
+        return;
+    }
+    if std::env::args().any(|a| a == "--scaling-gate") {
+        println!("execution-pool scaling gate (training-set harvest)\n");
+        let avail = acm_exec::available_threads();
+        let speedup = scaling_workload(&mut report);
+        if avail < 4 {
+            println!("\nSKIP: scaling gate needs >= 4 cores, machine has {avail}");
+            return;
+        }
+        if speedup < 3.0 {
+            eprintln!("\nFAIL: 4-thread harvest speedup {speedup:.2} is below 3.0");
+            std::process::exit(1);
+        }
+        println!("\nOK: 4-thread harvest speedup {speedup:.2} >= 3.0");
         return;
     }
 
@@ -409,11 +522,12 @@ fn main() {
     policy_workload(&mut report);
     rep_tree_workload(&mut report);
     obs_overhead_workload(&mut report);
+    scaling_workload(&mut report);
     fig3_workload(&mut report);
 
     let json = report.to_json();
-    match std::fs::write("BENCH_PR2.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_PR2.json"),
-        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR2.json: {e}"),
+    match std::fs::write("BENCH_PR3.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_PR3.json"),
+        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR3.json: {e}"),
     }
 }

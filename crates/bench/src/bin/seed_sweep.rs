@@ -8,8 +8,9 @@
 //! ```
 
 use acm_core::config::{ExperimentConfig, PredictorChoice};
-use acm_core::framework::run_experiment;
+use acm_core::framework::run_experiment_with_obs;
 use acm_core::policy::PolicyKind;
+use acm_obs::{MetricValue, Obs, ObsConfig, ObsHandle};
 use rayon::prelude::*;
 use std::fs;
 
@@ -31,6 +32,7 @@ fn sweep(
     label: &str,
     make: impl Fn(PolicyKind, u64) -> ExperimentConfig + Sync,
     seeds: u64,
+    rollup: &ObsHandle,
 ) -> String {
     println!("\n--- {label} ({seeds} seeds) ---");
     println!(
@@ -39,20 +41,28 @@ fn sweep(
     );
     let mut csv = String::new();
     for policy in PolicyKind::ALL {
-        let runs: Vec<(f64, f64, f64, bool)> = (0..seeds)
+        // Each run records into its own child hub; the children come back
+        // in seed order (order-stable collect) and are merged in that
+        // order, so the rollup is deterministic at any thread count.
+        let runs: Vec<(f64, f64, f64, bool, ObsHandle)> = (0..seeds)
             .into_par_iter()
             .map(|seed| {
                 let cfg = make(policy, 1000 + seed);
-                let tel = run_experiment(&cfg);
+                let obs = Obs::new(ObsConfig::default());
+                let tel = run_experiment_with_obs(&cfg, obs.clone());
                 let w = tel.eras() / 3;
                 (
                     tel.rmttf_spread(w),
                     tel.fraction_oscillation(w),
                     tel.tail_response(w),
                     tel.convergence_era(1.25).is_some(),
+                    obs,
                 )
             })
             .collect();
+        for (_, _, _, _, child) in &runs {
+            rollup.merge_from(child);
+        }
         let agg = Agg {
             spreads: runs.iter().map(|r| r.0).collect(),
             oscillations: runs.iter().map(|r| r.1).collect(),
@@ -89,6 +99,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(10);
 
+    let rollup = Obs::new(ObsConfig::default());
     let mut csv =
         String::from("scenario,policy,spread_mean,spread_std,osc_mean,osc_std,resp_ms,converged\n");
     csv += &sweep(
@@ -99,6 +110,7 @@ fn main() {
             cfg
         },
         seeds,
+        &rollup,
     );
     csv += &sweep(
         "fig4 (3 regions, oracle)",
@@ -108,7 +120,27 @@ fn main() {
             cfg
         },
         seeds,
+        &rollup,
     );
+
+    // Cross-run observability rollup: counters summed over every run of
+    // every policy, on `acm_exec::current_threads()` pool threads.
+    println!(
+        "\n--- observability rollup ({} threads) ---",
+        acm_exec::current_threads()
+    );
+    let mut counters: Vec<(String, u64)> = rollup
+        .metrics()
+        .into_iter()
+        .filter_map(|m| match m.value {
+            MetricValue::Counter(v) if v > 0 => Some((m.name, v)),
+            _ => None,
+        })
+        .collect();
+    counters.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (name, v) in &counters {
+        println!("{name:<44} {v:>14}");
+    }
 
     if fs::create_dir_all("results").is_ok() {
         let _ = fs::write("results/seed_sweep.csv", csv);

@@ -1,0 +1,850 @@
+//! # acm-exec — deterministic data-parallel execution
+//!
+//! A std-only (threads + atomics + mutex/condvar, zero dependencies)
+//! work-stealing thread pool powering every `par_iter` call site in the
+//! workspace through the vendored `rayon` facade.
+//!
+//! ## Design
+//!
+//! * **Work stealing over index ranges.** A parallel map over `n` items
+//!   splits `0..n` into one contiguous range per participant, packed into
+//!   an `AtomicU64` (`start` in the high 32 bits, `end` in the low 32).
+//!   Owners pop chunks off the *front* of their range with a CAS; an idle
+//!   participant steals the *back half* of a victim's range with a CAS.
+//!   Because `start` only ever grows and `end` only ever shrinks within a
+//!   job, the full-word CAS is ABA-free.
+//! * **Chunked splitting.** Pops take `max(1, n / (participants × 4))`
+//!   indices at a time so fine-grained items amortise the CAS while coarse
+//!   items still balance.
+//! * **Index-ordered deterministic collect.** Every result is written to
+//!   the slot of its input index; the output `Vec` is assembled in input
+//!   order regardless of which thread computed what. Combined with
+//!   pre-split RNG streams at the call sites, parallel runs are
+//!   **byte-identical** to sequential runs.
+//! * **Panic propagation.** Participant bodies run under `catch_unwind`;
+//!   the first payload is re-raised on the calling thread after every
+//!   participant has quiesced (unprocessed items and orphaned results are
+//!   leaked, never double-dropped).
+//! * **Deadlock-free nesting.** Helper jobs are *claimable*: the caller
+//!   claims and inlines any job no worker has started yet, and only waits
+//!   for jobs actively running elsewhere. A nested `map_collect` on a
+//!   saturated pool therefore degrades to inline execution instead of
+//!   waiting for a free worker that may never come.
+//!
+//! ## Thread-count knob
+//!
+//! The global pool honours `ACM_THREADS` (unset or `0` → all available
+//! cores). `ACM_THREADS=1` — or [`configure_threads`]`(1)` from code,
+//! which tests and benchmarks should prefer over mutating the
+//! environment — takes the *exact* sequential `Iterator` path: no worker
+//! threads, no atomics, no reordering of side effects.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::{self, ManuallyDrop, MaybeUninit};
+use std::panic::{self, AssertUnwindSafe};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::thread;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+// ---------------------------------------------------------------------------
+// latch
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut n = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *n -= 1;
+        if *n == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut n = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *n > 0 {
+            n = self.done.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// packed index ranges
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn pack(start: usize, end: usize) -> u64 {
+    ((start as u64) << 32) | end as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xffff_ffff) as usize)
+}
+
+/// Owner side: pop up to `chunk` indices off the front of the range.
+fn pop_front(range: &AtomicU64, chunk: usize) -> Option<(usize, usize)> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (s, e) = unpack(cur);
+        if s >= e {
+            return None;
+        }
+        let ns = (s + chunk).min(e);
+        match range.compare_exchange_weak(cur, pack(ns, e), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some((s, ns)),
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// Thief side: detach the back half of a victim's range (victim keeps the
+/// front ⌈half⌉, so a 1-element range is never stolen down to nothing
+/// mid-pop).
+fn steal_half(range: &AtomicU64) -> Option<(usize, usize)> {
+    let mut cur = range.load(Ordering::Acquire);
+    loop {
+        let (s, e) = unpack(cur);
+        if s >= e {
+            return None;
+        }
+        let mid = s + (e - s).div_ceil(2);
+        if mid >= e {
+            return None; // single element: leave it to the owner
+        }
+        match range.compare_exchange_weak(cur, pack(s, mid), Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return Some((mid, e)),
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// claimable helper jobs
+// ---------------------------------------------------------------------------
+
+/// Claim flags + completion latch shared between a caller and the helper
+/// jobs it queued. Heap-allocated (`Arc`) so a stale queue entry that
+/// *loses* its claim race touches only this block, never the caller's
+/// stack frame.
+#[derive(Debug)]
+struct JobControl {
+    claimed: Box<[AtomicBool]>,
+    latch: Latch,
+}
+
+impl JobControl {
+    fn new(helpers: usize) -> Arc<Self> {
+        Arc::new(JobControl {
+            claimed: (0..helpers).map(|_| AtomicBool::new(false)).collect(),
+            latch: Latch::new(helpers),
+        })
+    }
+
+    /// True if the caller wins the right to run helper `i` itself.
+    fn try_claim(&self, i: usize) -> bool {
+        !self.claimed[i].swap(true, Ordering::AcqRel)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// parallel map state
+// ---------------------------------------------------------------------------
+
+struct MapShared<T, R, F> {
+    items: *mut T,
+    results: *mut MaybeUninit<R>,
+    chunk: usize,
+    f: F,
+    ranges: Box<[AtomicU64]>,
+    abort: AtomicBool,
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+// SAFETY: raw pointers target slots handed out exactly once by the range
+// protocol; `f` is invoked concurrently through `&F`.
+unsafe impl<T: Send, R: Send, F: Sync> Sync for MapShared<T, R, F> {}
+
+impl<T, R, F> MapShared<T, R, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Moves items `s..e` through `f` into their result slots.
+    ///
+    /// SAFETY: `s..e` must have been obtained from `pop_front`/`steal_half`
+    /// so each index is visited exactly once across all participants.
+    unsafe fn run_chunk(&self, s: usize, e: usize) {
+        for i in s..e {
+            let item = ptr::read(self.items.add(i));
+            let out = (self.f)(item);
+            (*self.results.add(i)).write(out);
+        }
+    }
+
+    fn record_panic(&self, payload: PanicPayload) {
+        self.abort.store(true, Ordering::Relaxed);
+        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+        slot.get_or_insert(payload);
+    }
+
+    /// One participant's work loop: drain own range, then steal.
+    fn participate(&self, me: usize) {
+        let workers = self.ranges.len();
+        let body = || {
+            'work: loop {
+                if self.abort.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some((s, e)) = pop_front(&self.ranges[me], self.chunk) {
+                    // SAFETY: indices come from the claiming protocol.
+                    unsafe { self.run_chunk(s, e) };
+                    continue;
+                }
+                for off in 1..workers {
+                    let victim = (me + off) % workers;
+                    if let Some((mut s, e)) = steal_half(&self.ranges[victim]) {
+                        // Stolen span is processed privately, chunk by
+                        // chunk, so an abort still cuts in promptly.
+                        while s < e {
+                            if self.abort.load(Ordering::Relaxed) {
+                                break 'work;
+                            }
+                            let c = (s + self.chunk).min(e);
+                            // SAFETY: detached span, ours alone.
+                            unsafe { self.run_chunk(s, c) };
+                            s = c;
+                        }
+                        continue 'work;
+                    }
+                }
+                break; // every range is empty
+            }
+        };
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(body)) {
+            self.record_panic(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread pool
+// ---------------------------------------------------------------------------
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Jobs are internally panic-safe; a stray unwind must not kill the
+        // worker.
+        let _ = panic::catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// A fixed-size work-stealing thread pool.
+///
+/// A pool of `threads` participants spawns `threads - 1` OS workers — the
+/// calling thread is always the first participant — so
+/// `ThreadPool::new(1)` is a true zero-thread sequential executor.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    threads: usize,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` participants (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("acm-exec-{i}"))
+                    .spawn(move || worker_loop(s))
+                    .expect("spawn acm-exec worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            threads,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Number of participants (worker threads + the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn submit(&self, job: Job) {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job);
+        drop(q);
+        self.shared.available.notify_one();
+    }
+
+    /// Applies `f` to every item and collects the results **in input
+    /// order**, regardless of scheduling. With one participant this is
+    /// exactly `items.into_iter().map(f).collect()`.
+    ///
+    /// Panics in `f` abort outstanding work and are re-raised here once
+    /// every participant has stopped touching the shared state.
+    pub fn map_collect<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let parts = self.threads.min(n);
+        if parts <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        assert!(
+            n < u32::MAX as usize,
+            "map_collect supports at most 2^32 - 1 items"
+        );
+
+        let mut items = ManuallyDrop::new(items);
+        let items_ptr = items.as_mut_ptr();
+        let items_cap = items.capacity();
+        let mut results: Vec<MaybeUninit<R>> = Vec::with_capacity(n);
+        // SAFETY: `MaybeUninit` slots need no initialisation and are never
+        // dropped by the Vec.
+        unsafe { results.set_len(n) };
+
+        let shared = MapShared {
+            items: items_ptr,
+            results: results.as_mut_ptr(),
+            chunk: (n / (parts * 4)).max(1),
+            f,
+            ranges: (0..parts)
+                .map(|w| AtomicU64::new(pack(n * w / parts, n * (w + 1) / parts)))
+                .collect(),
+            abort: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        };
+
+        let control = JobControl::new(parts - 1);
+        {
+            let shared_ref: &MapShared<T, R, F> = &shared;
+            for w in 1..parts {
+                let ctl = Arc::clone(&control);
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    // Dereference the caller's stack frame only after
+                    // winning the claim: a win means the caller is still
+                    // blocked on the latch below.
+                    if ctl.try_claim(w - 1) {
+                        shared_ref.participate(w);
+                        ctl.latch.count_down();
+                    }
+                });
+                // SAFETY: lifetime erasure. A queue entry that outlives
+                // this frame necessarily loses its claim (the caller
+                // claims every unstarted helper before returning) and
+                // then touches only the Arc'd `JobControl`.
+                let job: Job = unsafe { mem::transmute(job) };
+                self.submit(job);
+            }
+
+            shared_ref.participate(0);
+            for w in 1..parts {
+                if control.try_claim(w - 1) {
+                    shared_ref.participate(w);
+                    control.latch.count_down();
+                }
+            }
+            control.latch.wait();
+        }
+
+        let panicked = shared
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        drop(shared); // drops `f` and the ranges; raw pointers stay valid
+        if let Some(payload) = panicked {
+            // Free the two backing allocations without dropping elements:
+            // unread items and orphaned results leak rather than risking a
+            // double drop.
+            mem::forget(results);
+            // SAFETY: reconstituting with len 0 frees the buffer only.
+            unsafe { drop(Vec::from_raw_parts(items_ptr, 0, items_cap)) };
+            panic::resume_unwind(payload);
+        }
+
+        // SAFETY: all participants finished without panicking, so every
+        // item was consumed and every result slot initialised.
+        unsafe {
+            drop(Vec::from_raw_parts(items_ptr, 0, items_cap));
+            let out_ptr = results.as_mut_ptr() as *mut R;
+            let out_cap = results.capacity();
+            mem::forget(results);
+            Vec::from_raw_parts(out_ptr, n, out_cap)
+        }
+    }
+
+    /// Runs both closures, potentially in parallel, and returns both
+    /// results. `a` always runs on the calling thread; `b` runs on a
+    /// worker if one picks it up before `a` finishes, else inline.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.threads <= 1 {
+            let ra = a();
+            return (ra, b());
+        }
+
+        struct JoinShared<B, RB> {
+            b: UnsafeCell<Option<B>>,
+            out: UnsafeCell<Option<Result<RB, PanicPayload>>>,
+        }
+        // SAFETY: the claim flag serialises all cell access.
+        unsafe impl<B: Send, RB: Send> Sync for JoinShared<B, RB> {}
+
+        let shared = JoinShared::<B, RB> {
+            b: UnsafeCell::new(Some(b)),
+            out: UnsafeCell::new(None),
+        };
+        let control = JobControl::new(1);
+        let shared_ref = &shared;
+        let run_b = move || {
+            // SAFETY: claim won ⇒ exclusive access to both cells.
+            let bfn = unsafe { (*shared_ref.b.get()).take() }.expect("join body taken once");
+            let out = panic::catch_unwind(AssertUnwindSafe(bfn));
+            unsafe { *shared_ref.out.get() = Some(out) };
+        };
+        {
+            let ctl = Arc::clone(&control);
+            let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                if ctl.try_claim(0) {
+                    run_b();
+                    ctl.latch.count_down();
+                }
+            });
+            // SAFETY: same claim discipline as `map_collect`.
+            let job: Job = unsafe { mem::transmute(job) };
+            self.submit(job);
+        }
+
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+        if control.try_claim(0) {
+            run_b();
+            control.latch.count_down();
+        }
+        control.latch.wait();
+
+        // SAFETY: every participant is done with the cells.
+        let rb = unsafe { (*shared.out.get()).take() }.expect("join result present");
+        match (ra, rb) {
+            (Ok(ra), Ok(rb)) => (ra, rb),
+            (Err(p), _) | (_, Err(p)) => panic::resume_unwind(p),
+        }
+    }
+
+    /// Runs `f` with a [`Scope`] onto which `'scope`-borrowing tasks can
+    /// be spawned; returns once every spawned task has completed. The
+    /// first panic (from `f` or any task) is re-raised after the barrier.
+    pub fn scope<'scope, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'scope, '_>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            tasks: Mutex::new(Vec::new()),
+            _marker: std::marker::PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        let tasks = mem::take(&mut *scope.tasks.lock().unwrap_or_else(|e| e.into_inner()));
+        for t in &tasks {
+            t.try_run(); // claim whatever no worker has started
+        }
+        for t in &tasks {
+            t.latch.wait();
+        }
+        let mut first_panic = None;
+        for t in &tasks {
+            // SAFETY: all tasks quiesced behind their latches.
+            if let Some(p) = unsafe { (*t.panic.get()).take() } {
+                first_panic.get_or_insert(p);
+            }
+        }
+        match (result, first_panic) {
+            (Err(p), _) => panic::resume_unwind(p),
+            (Ok(_), Some(p)) => panic::resume_unwind(p),
+            (Ok(r), None) => r,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let mut workers = self
+            .workers
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect::<Vec<_>>();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// scope
+// ---------------------------------------------------------------------------
+
+/// One spawned scope task: body + claim flag + completion latch, shared
+/// between the queued job and the scope-end drain.
+struct ClaimableTask {
+    claimed: AtomicBool,
+    latch: Latch,
+    body: UnsafeCell<Option<Job>>,
+    panic: UnsafeCell<Option<PanicPayload>>,
+}
+
+// SAFETY: the claim flag serialises access to both cells; the latch
+// publishes the panic slot to the scope-end reader.
+unsafe impl Sync for ClaimableTask {}
+unsafe impl Send for ClaimableTask {}
+
+impl ClaimableTask {
+    fn new(body: Job) -> Arc<Self> {
+        Arc::new(ClaimableTask {
+            claimed: AtomicBool::new(false),
+            latch: Latch::new(1),
+            body: UnsafeCell::new(Some(body)),
+            panic: UnsafeCell::new(None),
+        })
+    }
+
+    fn try_run(&self) {
+        if self.claimed.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // SAFETY: claim won ⇒ exclusive access.
+        let body = unsafe { (*self.body.get()).take() }.expect("scope body taken once");
+        if let Err(p) = panic::catch_unwind(AssertUnwindSafe(body)) {
+            // SAFETY: still claim-guarded; published by the latch below.
+            unsafe { *self.panic.get() = Some(p) };
+        }
+        self.latch.count_down();
+    }
+}
+
+/// A fork-join scope: tasks spawned here may borrow from the enclosing
+/// stack frame (`'scope`) and are guaranteed complete before
+/// [`ThreadPool::scope`] returns.
+///
+/// Unlike real rayon, task closures take no `&Scope` argument, so a task
+/// cannot spawn siblings — none of this workspace's workloads need that.
+pub struct Scope<'scope, 'pool> {
+    pool: &'pool ThreadPool,
+    tasks: Mutex<Vec<Arc<ClaimableTask>>>,
+    _marker: std::marker::PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope, 'pool> Scope<'scope, 'pool> {
+    /// Spawns a task onto the scope. With a single-participant pool the
+    /// task runs inline immediately (exact sequential order).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        if self.pool.threads <= 1 {
+            f();
+            return;
+        }
+        let body: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the scope barrier keeps `'scope` borrows alive until
+        // every task has run; a post-scope queue entry loses its claim and
+        // never touches the body.
+        let body: Job = unsafe { mem::transmute(body) };
+        let task = ClaimableTask::new(body);
+        let queued = Arc::clone(&task);
+        self.pool.submit(Box::new(move || queued.try_run()));
+        self.tasks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(task);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// global pool + ACM_THREADS
+// ---------------------------------------------------------------------------
+
+/// Parallelism the machine offers (≥ 1).
+pub fn available_threads() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Parses an `ACM_THREADS` value: positive integer = that many
+/// participants; `0`, empty or malformed = all available cores.
+pub fn parse_thread_env(value: Option<&str>) -> usize {
+    match value.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => available_threads(),
+    }
+}
+
+fn global_cell() -> &'static RwLock<Arc<ThreadPool>> {
+    static GLOBAL: OnceLock<RwLock<Arc<ThreadPool>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let threads = parse_thread_env(std::env::var("ACM_THREADS").ok().as_deref());
+        RwLock::new(Arc::new(ThreadPool::new(threads)))
+    })
+}
+
+/// The process-wide pool (sized by `ACM_THREADS` at first use).
+pub fn global() -> Arc<ThreadPool> {
+    global_cell()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+/// Replaces the global pool with one of `threads` participants (clamped
+/// to ≥ 1) and returns the effective count. Prefer this over mutating
+/// `ACM_THREADS` in-process: the environment is read once, and
+/// `std::env::set_var` is racy. In-flight operations on the old pool
+/// finish undisturbed; its workers exit once the last handle drops.
+pub fn configure_threads(threads: usize) -> usize {
+    let threads = threads.max(1);
+    let mut guard = global_cell().write().unwrap_or_else(|e| e.into_inner());
+    if guard.threads() != threads {
+        *guard = Arc::new(ThreadPool::new(threads));
+    }
+    threads
+}
+
+/// Participant count of the current global pool.
+pub fn current_threads() -> usize {
+    global().threads()
+}
+
+/// [`ThreadPool::map_collect`] on the global pool.
+pub fn map_collect<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    global().map_collect(items, f)
+}
+
+/// [`ThreadPool::join`] on the global pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    global().join(a, b)
+}
+
+/// [`ThreadPool::scope`] on the global pool.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope, '_>) -> R,
+{
+    let pool = global();
+    pool.scope(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn map_collect_matches_sequential_across_shapes() {
+        for threads in [1, 2, 3, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            for n in [0usize, 1, 2, 7, 64, 1000] {
+                let items: Vec<usize> = (0..n).collect();
+                let expect: Vec<usize> = items.iter().map(|i| i * 31 + 7).collect();
+                let got = pool.map_collect(items, |i| i * 31 + 7);
+                assert_eq!(got, expect, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_collect_is_deterministic_and_order_stable() {
+        let seq = ThreadPool::new(1).map_collect((0..500u64).collect(), |i| i.wrapping_mul(i));
+        for _ in 0..10 {
+            let par = ThreadPool::new(4).map_collect((0..500u64).collect(), |i| i.wrapping_mul(i));
+            assert_eq!(par, seq);
+        }
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let n = 300;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ThreadPool::new(6);
+        let out = pool.map_collect((0..n).collect(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_moves_owned_items_without_leaking_results() {
+        // Heap-owning items and results: miri-free proxy for the unsafe
+        // slot protocol (a double free or uninit read would crash or
+        // corrupt the strings).
+        let pool = ThreadPool::new(4);
+        let items: Vec<String> = (0..200).map(|i| format!("item-{i}")).collect();
+        let out = pool.map_collect(items, |s| s + "!");
+        assert_eq!(out.len(), 200);
+        assert_eq!(out[199], "item-199!");
+    }
+
+    #[test]
+    fn panic_in_map_propagates_with_payload() {
+        let pool = ThreadPool::new(4);
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_collect((0..100usize).collect(), |i| {
+                if i == 37 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("boom at 37"), "{msg}");
+        // The pool survives a panicked job.
+        let ok = pool.map_collect(vec![1, 2, 3], |i| i * 2);
+        assert_eq!(ok, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.join(|| 40 + 1, || "right".len());
+        assert_eq!((a, b), (41, 5));
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || -> usize { panic!("join-b") })
+        }))
+        .unwrap_err();
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "join-b");
+    }
+
+    #[test]
+    fn scope_completes_all_spawned_tasks() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let hits = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..16 {
+                    s.spawn(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 16, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn nested_map_collect_does_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        let out = pool.map_collect((0..8u64).collect(), |i| {
+            // Nested parallelism from inside a participant.
+            global()
+                .map_collect((0..50u64).collect(), move |j| i * 100 + j)
+                .iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = (0..8u64)
+            .map(|i| (0..50u64).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        let cores = available_threads();
+        assert_eq!(parse_thread_env(None), cores);
+        assert_eq!(parse_thread_env(Some("")), cores);
+        assert_eq!(parse_thread_env(Some("0")), cores);
+        assert_eq!(parse_thread_env(Some("junk")), cores);
+        assert_eq!(parse_thread_env(Some("3")), 3);
+        assert_eq!(parse_thread_env(Some(" 8 ")), 8);
+    }
+
+    #[test]
+    fn configure_threads_swaps_the_global_pool() {
+        let n = configure_threads(3);
+        assert_eq!(n, 3);
+        assert_eq!(current_threads(), 3);
+        assert_eq!(configure_threads(0), 1);
+        assert_eq!(current_threads(), 1);
+        configure_threads(available_threads());
+    }
+}

@@ -1,0 +1,44 @@
+//! Property tests for the work-stealing pool: for arbitrary item counts,
+//! participant counts and item values, every item is processed exactly
+//! once and the collect is order-stable (identical to the sequential map).
+
+use acm_exec::ThreadPool;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+proptest! {
+    #[test]
+    fn all_items_processed_exactly_once_in_input_order(
+        n in 0usize..400,
+        threads in 1usize..9,
+        values in proptest::collection::vec(any::<u64>(), 0..400),
+    ) {
+        // Exercise both a dense index workload and arbitrary payloads.
+        let pool = ThreadPool::new(threads);
+
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let out = pool.map_collect((0..n).collect(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+            i as u64 * 2654435761
+        });
+        let expect: Vec<u64> = (0..n).map(|i| i as u64 * 2654435761).collect();
+        prop_assert_eq!(out, expect);
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "item {} hit count", i);
+        }
+
+        let expect: Vec<u64> = values.iter().map(|v| v.wrapping_mul(31).wrapping_add(7)).collect();
+        let got = pool.map_collect(values, |v| v.wrapping_mul(31).wrapping_add(7));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn parallel_collect_is_byte_identical_to_sequential(
+        values in proptest::collection::vec(any::<i64>(), 0..300),
+        threads in 2usize..8,
+    ) {
+        let seq: Vec<String> = values.iter().map(|v| format!("{v:+}")).collect();
+        let par = ThreadPool::new(threads).map_collect(values, |v| format!("{v:+}"));
+        prop_assert_eq!(par, seq);
+    }
+}

@@ -56,11 +56,25 @@ enum Node {
     },
 }
 
+/// Leaf sentinel in [`RepTree::flat_feature`] (no real feature index gets
+/// near `u32::MAX`).
+const FLAT_LEAF: u32 = u32::MAX;
+
 /// A trained REP-Tree.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RepTree {
     nodes: Vec<Node>,
     root: usize,
+    /// Flat structure-of-arrays mirror of the compact arena, rebuilt by
+    /// [`RepTree::compact`]. The pre-order layout makes every left child
+    /// the next slot, so a walk needs only the split feature (or
+    /// [`FLAT_LEAF`]), the threshold (leaf slots reuse it for the
+    /// prediction) and the right-child index — 16 bytes of touched state
+    /// per node versus the 56-byte `Node` enum, and no discriminant
+    /// branch.
+    flat_feature: Vec<u32>,
+    flat_threshold: Vec<f64>,
+    flat_right: Vec<u32>,
 }
 
 impl RepTree {
@@ -93,6 +107,9 @@ impl RepTree {
         let mut tree = RepTree {
             nodes: builder.nodes,
             root,
+            flat_feature: Vec::new(),
+            flat_threshold: Vec::new(),
+            flat_right: Vec::new(),
         };
         if !prune.is_empty() {
             tree.reduced_error_prune(&prune);
@@ -140,6 +157,40 @@ impl RepTree {
         let root = copy(&self.nodes, self.root, &mut out);
         self.nodes = out;
         self.root = root;
+        self.rebuild_flat();
+    }
+
+    /// Regenerates the flat prediction arena from the compact node arena.
+    fn rebuild_flat(&mut self) {
+        let n = self.nodes.len();
+        self.flat_feature.clear();
+        self.flat_feature.reserve_exact(n);
+        self.flat_threshold.clear();
+        self.flat_threshold.reserve_exact(n);
+        self.flat_right.clear();
+        self.flat_right.reserve_exact(n);
+        for (slot, node) in self.nodes.iter().enumerate() {
+            match node {
+                Node::Leaf { value } => {
+                    self.flat_feature.push(FLAT_LEAF);
+                    self.flat_threshold.push(*value);
+                    self.flat_right.push(0);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    debug_assert_eq!(*left, slot + 1, "compact layout: left = next slot");
+                    debug_assert!(*feature < FLAT_LEAF as usize && *right <= u32::MAX as usize);
+                    self.flat_feature.push(*feature as u32);
+                    self.flat_threshold.push(*threshold);
+                    self.flat_right.push(*right as u32);
+                }
+            }
+        }
     }
 
     /// Arena size. After [`RepTree::fit`] the arena is compact: exactly the
@@ -150,6 +201,29 @@ impl RepTree {
 
     /// Predicts one row.
     pub fn predict_one(&self, x: &[f64]) -> f64 {
+        if self.flat_feature.is_empty() {
+            return self.predict_one_nodes(x);
+        }
+        let feat = self.flat_feature.as_slice();
+        let vals = self.flat_threshold.as_slice();
+        let right = self.flat_right.as_slice();
+        let mut idx = 0usize;
+        loop {
+            let f = feat[idx];
+            if f == FLAT_LEAF {
+                return vals[idx];
+            }
+            // Pre-order arena: the left child is always the next slot.
+            idx = if x[f as usize] <= vals[idx] {
+                idx + 1
+            } else {
+                right[idx] as usize
+            };
+        }
+    }
+
+    /// Enum-arena walk, used before `compact()` builds the flat arena.
+    fn predict_one_nodes(&self, x: &[f64]) -> f64 {
         let mut idx = self.root;
         loop {
             match &self.nodes[idx] {
@@ -175,36 +249,75 @@ impl RepTree {
     /// prediction per row to `out` (which is cleared first). Accepts any
     /// iterator of feature slices so callers can feed packed scratch
     /// buffers without materialising a `Vec<Vec<f64>>`.
+    ///
+    /// Rows descend the flat arena four abreast: the four walks carry no
+    /// data dependence on each other, so the per-level loads overlap
+    /// instead of serialising on one chain of cache misses.
     pub fn predict_batch_into<'a, I>(&self, rows: I, out: &mut Vec<f64>)
     where
         I: IntoIterator<Item = &'a [f64]>,
     {
         out.clear();
-        let nodes = &self.nodes;
-        let root = self.root;
-        // `extend` keeps the exact-size fast path of the iterator pipeline
-        // (no per-row capacity check) while reusing the caller's allocation.
-        out.extend(rows.into_iter().map(|x| {
-            let mut idx = root;
+        if self.flat_feature.is_empty() {
+            out.extend(rows.into_iter().map(|x| self.predict_one_nodes(x)));
+            return;
+        }
+        let feat = self.flat_feature.as_slice();
+        let vals = self.flat_threshold.as_slice();
+        let right = self.flat_right.as_slice();
+        let mut it = rows.into_iter();
+        let (lo, _) = it.size_hint();
+        out.reserve(lo);
+        loop {
+            let Some(r0) = it.next() else { return };
+            let head = (it.next(), it.next(), it.next());
+            let (Some(r1), Some(r2), Some(r3)) = head else {
+                // Fewer than four rows left: finish them one at a time.
+                out.push(self.predict_one(r0));
+                for r in [head.0, head.1, head.2].into_iter().flatten() {
+                    out.push(self.predict_one(r));
+                }
+                return;
+            };
+            let (mut i0, mut i1, mut i2, mut i3) = (0usize, 0usize, 0usize, 0usize);
             loop {
-                match &nodes[idx] {
-                    Node::Leaf { value } => return *value,
-                    Node::Split {
-                        feature,
-                        threshold,
-                        left,
-                        right,
-                        ..
-                    } => {
-                        idx = if x[*feature] <= *threshold {
-                            *left
-                        } else {
-                            *right
-                        };
-                    }
+                let (f0, f1, f2, f3) = (feat[i0], feat[i1], feat[i2], feat[i3]);
+                if f0 == FLAT_LEAF && f1 == FLAT_LEAF && f2 == FLAT_LEAF && f3 == FLAT_LEAF {
+                    break;
+                }
+                // Finished rows park at their leaf slot while the others
+                // keep descending.
+                if f0 != FLAT_LEAF {
+                    i0 = if r0[f0 as usize] <= vals[i0] {
+                        i0 + 1
+                    } else {
+                        right[i0] as usize
+                    };
+                }
+                if f1 != FLAT_LEAF {
+                    i1 = if r1[f1 as usize] <= vals[i1] {
+                        i1 + 1
+                    } else {
+                        right[i1] as usize
+                    };
+                }
+                if f2 != FLAT_LEAF {
+                    i2 = if r2[f2 as usize] <= vals[i2] {
+                        i2 + 1
+                    } else {
+                        right[i2] as usize
+                    };
+                }
+                if f3 != FLAT_LEAF {
+                    i3 = if r3[f3 as usize] <= vals[i3] {
+                        i3 + 1
+                    } else {
+                        right[i3] as usize
+                    };
                 }
             }
-        }));
+            out.extend_from_slice(&[vals[i0], vals[i1], vals[i2], vals[i3]]);
+        }
     }
 
     /// Predicts many rows. Equivalent to mapping [`RepTree::predict_one`],

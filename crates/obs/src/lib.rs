@@ -192,6 +192,23 @@ impl Obs {
         self.registry.snapshot()
     }
 
+    /// Folds a child hub into this one: counters add, gauges take the
+    /// child's last value, histograms merge bucket-wise, and the child's
+    /// retained events are re-appended (fresh sequence numbers, original
+    /// simulated timestamps). The intended shape is one child `Obs` per
+    /// parallel work item, merged **in input-index order** after an
+    /// order-stable collect — then the parent rollup is deterministic at
+    /// any thread count. No-op when this hub is disabled.
+    pub fn merge_from(&self, child: &Obs) {
+        if !self.enabled {
+            return;
+        }
+        self.registry.merge_from(&child.registry);
+        for rec in child.events.tail(usize::MAX) {
+            self.events.push(rec.t_us, rec.kind, rec.fields);
+        }
+    }
+
     /// The most recent `n` event records (oldest first).
     pub fn events_tail(&self, n: usize) -> Vec<EventRecord> {
         self.events.tail(n)
@@ -266,6 +283,50 @@ mod tests {
         b.inc();
         assert_eq!(a.value(), 2);
         assert_eq!(obs.metrics().len(), 1);
+    }
+
+    #[test]
+    fn merge_from_folds_child_hubs() {
+        let parent = Obs::new(ObsConfig::default());
+        parent.counter("acm.t.merge.c").add(1);
+        parent.gauge("acm.t.merge.g").set(1.0);
+        parent.histogram("acm.t.merge.h").record(4);
+
+        let child = Obs::new(ObsConfig::default());
+        child.counter("acm.t.merge.c").add(2);
+        child.counter("acm.t.merge.child_only").inc();
+        child.gauge("acm.t.merge.g").set(7.5);
+        child.histogram("acm.t.merge.h").record(4);
+        child.histogram("acm.t.merge.h").record(1000);
+        child.emit(42, "child.event", vec![("n", Value::from(3u64))]);
+
+        parent.merge_from(&child);
+        assert_eq!(parent.counter("acm.t.merge.c").value(), 3);
+        assert_eq!(parent.counter("acm.t.merge.child_only").value(), 1);
+        assert_eq!(parent.gauge("acm.t.merge.g").value(), 7.5);
+        let MetricValue::Histogram(h) = parent
+            .metrics()
+            .into_iter()
+            .find(|m| m.name == "acm.t.merge.h")
+            .unwrap()
+            .value
+        else {
+            panic!("histogram expected");
+        };
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 4);
+        assert_eq!(h.max, 1000);
+        // The child's events land in the parent log with their simulated
+        // timestamps intact.
+        let tail = parent.events_tail(1);
+        assert_eq!(tail[0].kind, "child.event");
+        assert_eq!(tail[0].t_us, 42);
+
+        // Merging into a disabled hub is a no-op.
+        let off = Obs::noop();
+        off.merge_from(&child);
+        assert!(off.metrics().is_empty());
+        assert_eq!(off.events_len(), 0);
     }
 
     #[test]

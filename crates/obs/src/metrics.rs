@@ -55,13 +55,11 @@ impl Default for HistCore {
 }
 
 /// Bucket index of a value: 0 for 0, else `64 - leading_zeros` (so 1 → 1,
-/// 2..=3 → 2, 4..=7 → 3, …, `u64::MAX` → 64).
+/// 2..=3 → 2, 4..=7 → 3, …, `u64::MAX` → 64). Branch-free: `v = 0` has 64
+/// leading zeros, mapping to bucket 0 without a special case.
+#[inline]
 fn bucket_of(v: u64) -> usize {
-    if v == 0 {
-        0
-    } else {
-        64 - v.leading_zeros() as usize
-    }
+    64 - v.leading_zeros() as usize
 }
 
 /// Inclusive value range covered by bucket `i`.
@@ -146,6 +144,25 @@ impl Hist {
         c.sum.fetch_add(v, Ordering::Relaxed);
         c.min.fetch_min(v, Ordering::Relaxed);
         c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Folds a finished snapshot into this live histogram (used when
+    /// merging per-thread registries). No-op for inert handles or empty
+    /// snapshots.
+    pub fn merge_snapshot(&self, s: &HistogramSnapshot) {
+        let Some(c) = &self.core else { return };
+        if s.count == 0 {
+            return;
+        }
+        for (i, &n) in s.buckets.iter().enumerate() {
+            if n > 0 {
+                c.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        c.count.fetch_add(s.count, Ordering::Relaxed);
+        c.sum.fetch_add(s.sum, Ordering::Relaxed);
+        c.min.fetch_min(s.min, Ordering::Relaxed);
+        c.max.fetch_max(s.max, Ordering::Relaxed);
     }
 
     /// Point-in-time snapshot (empty for inert handles).
@@ -361,6 +378,26 @@ impl MetricsRegistry {
                 core: Some(h.clone()),
             },
             _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Folds every instrument of `other` into this registry, creating
+    /// same-named instruments as needed: counters add, gauges take the
+    /// other's last value, histograms merge bucket-wise. Deterministic —
+    /// `other` is walked in name order — so merging per-thread registries
+    /// in a fixed order (e.g. input-index order after a parallel collect)
+    /// always produces the same rollup. No-op when this registry is
+    /// disabled.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        if !self.active {
+            return;
+        }
+        for m in other.snapshot() {
+            match m.value {
+                MetricValue::Counter(v) => self.counter(&m.name).add(v),
+                MetricValue::Gauge(v) => self.gauge(&m.name).set(v),
+                MetricValue::Histogram(h) => self.histogram(&m.name).merge_snapshot(&h),
+            }
         }
     }
 

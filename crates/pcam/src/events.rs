@@ -82,7 +82,7 @@ impl RegionSim {
     /// dispatch/lifecycle counters plus `acm.pcam.region.dropped` for
     /// requests rejected at dispatch.
     pub fn set_obs(&mut self, obs: &ObsHandle) {
-        self.pool.set_obs(obs);
+        self.pool.set_obs_scoped(obs, Some(&self.config.name));
         self.ctr_dropped = obs.counter("acm.pcam.region.dropped");
     }
 
@@ -235,6 +235,7 @@ impl RegionSim {
                 self.pool.replenish_active(now);
             }
         }
+        self.pool.publish_gauges();
     }
 }
 

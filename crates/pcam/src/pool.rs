@@ -5,7 +5,7 @@
 //! serving; standbys are promoted when actives rejuvenate or fail, and
 //! rejuvenated VMs come back as standbys.
 
-use acm_obs::{Counter, ObsHandle};
+use acm_obs::{Counter, Gauge, ObsHandle};
 use acm_sim::rng::SimRng;
 use acm_sim::time::SimTime;
 use acm_vm::service::RequestOutcome;
@@ -58,6 +58,12 @@ pub struct VmPool {
     ctr_activations: Counter,
     ctr_demotions: Counter,
     ctr_rejuv_completed: Counter,
+    /// Live ACTIVE/STANDBY/REJUV/FAILED census gauges, refreshed by
+    /// [`VmPool::publish_gauges`] at control-era boundaries.
+    g_active: Gauge,
+    g_standby: Gauge,
+    g_rejuvenating: Gauge,
+    g_failed: Gauge,
 }
 
 impl VmPool {
@@ -108,19 +114,56 @@ impl VmPool {
             ctr_activations: Counter::default(),
             ctr_demotions: Counter::default(),
             ctr_rejuv_completed: Counter::default(),
+            g_active: Gauge::default(),
+            g_standby: Gauge::default(),
+            g_rejuvenating: Gauge::default(),
+            g_failed: Gauge::default(),
         };
         pool.rebuild_index();
         pool
     }
 
-    /// Attaches observability: request dispatch (`acm.pcam.pool.dispatch`)
-    /// and lifecycle transition counters (`acm.pcam.pool.activations` /
-    /// `.demotions` / `.rejuvenations_completed`).
+    /// Attaches observability: request dispatch (`acm.pcam.pool.dispatch`),
+    /// lifecycle transition counters (`acm.pcam.pool.activations` /
+    /// `.demotions` / `.rejuvenations_completed`) and live pool-state
+    /// gauges (`acm.pcam.pool.active` / `.standby` / `.rejuvenating` /
+    /// `.failed`). The gauges are seeded with the current census so they
+    /// read correctly before the first control era.
     pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.set_obs_scoped(obs, None);
+    }
+
+    /// Like [`VmPool::set_obs`], but qualifies the pool-state gauges with a
+    /// region name (`acm.pcam.pool.<region>.active`, …) so multi-region
+    /// deployments expose one live census per pool instead of last-writer-
+    /// wins on a shared gauge. Counters stay unqualified: they aggregate
+    /// meaningfully across regions.
+    pub fn set_obs_scoped(&mut self, obs: &ObsHandle, region: Option<&str>) {
         self.ctr_dispatch = obs.counter("acm.pcam.pool.dispatch");
         self.ctr_activations = obs.counter("acm.pcam.pool.activations");
         self.ctr_demotions = obs.counter("acm.pcam.pool.demotions");
         self.ctr_rejuv_completed = obs.counter("acm.pcam.pool.rejuvenations_completed");
+        let gauge = |metric: &str| match region {
+            Some(r) => obs.gauge(&format!("acm.pcam.pool.{r}.{metric}")),
+            None => obs.gauge(&format!("acm.pcam.pool.{metric}")),
+        };
+        self.g_active = gauge("active");
+        self.g_standby = gauge("standby");
+        self.g_rejuvenating = gauge("rejuvenating");
+        self.g_failed = gauge("failed");
+        self.publish_gauges();
+    }
+
+    /// Pushes the current ACTIVE/STANDBY/REJUV/FAILED census into the
+    /// pool-state gauges (no-op without [`VmPool::set_obs`]). Called once
+    /// per control era rather than per transition so the census scan stays
+    /// off the per-request hot path.
+    pub fn publish_gauges(&self) {
+        let c = self.counts();
+        self.g_active.set(c.active as f64);
+        self.g_standby.set(c.standby as f64);
+        self.g_rejuvenating.set(c.rejuvenating as f64);
+        self.g_failed.set(c.failed as f64);
     }
 
     /// Rebuilds the id → slot map from scratch (construction and the rare
@@ -545,6 +588,32 @@ mod tests {
             1
         );
         assert_eq!(obs.counter("acm.pcam.pool.demotions").value(), 1);
+    }
+
+    #[test]
+    fn pool_gauges_track_census() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut p = pool(5, 3);
+        p.set_obs(&obs);
+        // Seeded at attach time.
+        assert_eq!(obs.gauge("acm.pcam.pool.active").value(), 3.0);
+        assert_eq!(obs.gauge("acm.pcam.pool.standby").value(), 2.0);
+        // A transition followed by publish refreshes every gauge to the
+        // live census.
+        let id = p.active_ids()[0];
+        p.vm_mut(id)
+            .unwrap()
+            .start_rejuvenation(t(0), Duration::from_secs(60));
+        p.replenish_active(t(0));
+        p.publish_gauges();
+        let c = p.counts();
+        assert_eq!(obs.gauge("acm.pcam.pool.active").value(), c.active as f64);
+        assert_eq!(obs.gauge("acm.pcam.pool.standby").value(), c.standby as f64);
+        assert_eq!(
+            obs.gauge("acm.pcam.pool.rejuvenating").value(),
+            c.rejuvenating as f64
+        );
+        assert_eq!(obs.gauge("acm.pcam.pool.failed").value(), c.failed as f64);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use acm_ml::dataset::Dataset;
 use acm_sim::rng::SimRng;
 use acm_sim::time::{Duration, SimTime};
 use acm_vm::{AnomalyConfig, FailureSpec, FeatureVec, Vm, VmFlavor, VmId, VmState, FEATURE_NAMES};
+use rayon::prelude::*;
 
 /// Parameters for the collection phase.
 #[derive(Debug, Clone)]
@@ -47,6 +48,13 @@ impl Default for CollectionConfig {
 
 /// Runs instrumented VMs of `flavor` to failure and returns the labelled
 /// feature database.
+///
+/// The runs are independent by construction, so they are harvested in
+/// parallel on the workspace pool: the caller's RNG is split once per
+/// `(lambda, run)` **in sequential order** before dispatch, and the
+/// per-run row batches are concatenated in that same order afterwards —
+/// the database is byte-identical to the sequential loop at any
+/// `ACM_THREADS` setting.
 pub fn collect_database(
     flavor: &VmFlavor,
     anomaly: &AnomalyConfig,
@@ -54,34 +62,56 @@ pub fn collect_database(
     cfg: &CollectionConfig,
     rng: &mut SimRng,
 ) -> Dataset {
-    let mut db = Dataset::new(FEATURE_NAMES);
+    let mut runs = Vec::with_capacity(cfg.lambdas.len() * cfg.runs_per_lambda);
     for &lambda in &cfg.lambdas {
         for _run in 0..cfg.runs_per_lambda {
-            let mut vm = Vm::new(
-                VmId(0),
-                flavor.clone(),
-                anomaly.clone(),
-                failure_spec.clone(),
-                VmState::Active,
-                rng.split(),
-            );
-            let mut now = SimTime::ZERO;
-            for _ in 0..cfg.max_eras_per_run {
-                let rttf = vm.true_rttf(lambda);
-                if !rttf.is_finite() {
-                    break; // this load level never fails the VM
-                }
-                let features: FeatureVec = vm.features(now, lambda);
-                db.push(features.as_slice().to_vec(), rttf);
-                vm.process_era(now, cfg.era, lambda);
-                now += cfg.era;
-                if !vm.is_active() {
-                    break; // reached the failure point
-                }
-            }
+            runs.push((lambda, rng.split()));
         }
     }
+    let batches: Vec<Vec<(Vec<f64>, f64)>> = runs
+        .into_par_iter()
+        .map(|(lambda, run_rng)| collect_run(flavor, anomaly, failure_spec, cfg, lambda, run_rng))
+        .collect();
+    let mut db = Dataset::new(FEATURE_NAMES);
+    for (features, rttf) in batches.into_iter().flatten() {
+        db.push(features, rttf);
+    }
     db
+}
+
+/// One instrumented run-to-failure at a fixed arrival rate.
+fn collect_run(
+    flavor: &VmFlavor,
+    anomaly: &AnomalyConfig,
+    failure_spec: &FailureSpec,
+    cfg: &CollectionConfig,
+    lambda: f64,
+    run_rng: SimRng,
+) -> Vec<(Vec<f64>, f64)> {
+    let mut vm = Vm::new(
+        VmId(0),
+        flavor.clone(),
+        anomaly.clone(),
+        failure_spec.clone(),
+        VmState::Active,
+        run_rng,
+    );
+    let mut rows = Vec::new();
+    let mut now = SimTime::ZERO;
+    for _ in 0..cfg.max_eras_per_run {
+        let rttf = vm.true_rttf(lambda);
+        if !rttf.is_finite() {
+            break; // this load level never fails the VM
+        }
+        let features: FeatureVec = vm.features(now, lambda);
+        rows.push((features.as_slice().to_vec(), rttf));
+        vm.process_era(now, cfg.era, lambda);
+        now += cfg.era;
+        if !vm.is_active() {
+            break; // reached the failure point
+        }
+    }
+    rows
 }
 
 #[cfg(test)]
@@ -124,6 +154,26 @@ mod tests {
         let a = collect_database(&args.0, &args.1, &args.2, &args.3, &mut SimRng::new(5));
         let b = collect_database(&args.0, &args.1, &args.2, &args.3, &mut SimRng::new(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn collection_is_identical_across_thread_counts() {
+        // The RNG is split per (lambda, run) in sequential order before
+        // dispatch and batches are concatenated in that order, so the
+        // database must not depend on the pool width.
+        let args = (
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            quick_cfg(),
+        );
+        let before = acm_exec::current_threads();
+        acm_exec::configure_threads(1);
+        let seq = collect_database(&args.0, &args.1, &args.2, &args.3, &mut SimRng::new(9));
+        acm_exec::configure_threads(4);
+        let par = collect_database(&args.0, &args.1, &args.2, &args.3, &mut SimRng::new(9));
+        acm_exec::configure_threads(before);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -174,7 +174,7 @@ impl Vmc {
     pub fn set_obs(&mut self, obs: ObsHandle) {
         self.balancer_timer = obs.timer("acm.pcam.balancer.shares_ns");
         self.rejuv_scan_timer = obs.timer("acm.pcam.vmc.rejuvenation_scan_ns");
-        self.pool.set_obs(&obs);
+        self.pool.set_obs_scoped(&obs, Some(&self.config.name));
         self.obs = obs;
     }
 
@@ -433,7 +433,9 @@ impl Vmc {
         self.proactive_total += proactive as u64;
         self.reactive_total += reactive as u64;
 
-        // (6) report.
+        // (6) report. Refresh the pool-state gauges first so `obs_report`
+        // sees the post-control census.
+        self.pool.publish_gauges();
         let last_rmttf = self.region_mttf(end, region_lambda);
         RegionEraReport {
             last_rmttf,

@@ -18,6 +18,9 @@
 //! The member crates can also be used individually:
 //!
 //! * [`sim`] — deterministic discrete-event kernel,
+//! * [`exec`] — std-only work-stealing thread pool with deterministic
+//!   index-ordered collect (the engine behind every `par_iter` call site;
+//!   sized by `ACM_THREADS` or [`exec::configure_threads`]),
 //! * [`vm`] — VM / anomaly / failure-point substrate,
 //! * [`ml`] — the F2PM model toolchain (OLS, Ridge, Lasso, REP-Tree, M5P,
 //!   SVR, LS-SVM),
@@ -27,6 +30,7 @@
 //! * [`core`] — the ACM control loop and the three load-balancing policies.
 
 pub use acm_core as core;
+pub use acm_exec as exec;
 pub use acm_ml as ml;
 pub use acm_overlay as overlay;
 pub use acm_pcam as pcam;

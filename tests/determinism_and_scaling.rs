@@ -18,6 +18,56 @@ fn full_pipeline_is_bit_reproducible_per_seed() {
 }
 
 #[test]
+fn parallel_execution_is_byte_identical_to_sequential() {
+    // The exec-pool determinism contract: a seed-sweep-style parallel
+    // aggregate and the full telemetry JSONL export must not change by a
+    // single byte between ACM_THREADS=1 (pure sequential path) and a
+    // 4-thread pool.
+    use rayon::prelude::*;
+    let sweep = || {
+        let per_seed: Vec<(f64, f64, f64)> = (0..4u64)
+            .into_par_iter()
+            .map(|seed| {
+                let mut cfg =
+                    ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 1000 + seed);
+                cfg.predictor = PredictorChoice::Oracle;
+                cfg.eras = 30;
+                let tel = run_experiment(&cfg);
+                let w = tel.eras() / 3;
+                (
+                    tel.rmttf_spread(w),
+                    tel.fraction_oscillation(w),
+                    tel.tail_response(w),
+                )
+            })
+            .collect();
+        let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::Exploration, 77);
+        cfg.predictor = PredictorChoice::Oracle;
+        cfg.eras = 20;
+        let jsonl = run_experiment(&cfg).to_jsonl();
+        // Debug-format floats round-trip exactly, so this is a byte-level
+        // comparison of the aggregates too.
+        (format!("{per_seed:?}"), jsonl)
+    };
+
+    let before = acm::exec::current_threads();
+    acm::exec::configure_threads(1);
+    let sequential = sweep();
+    acm::exec::configure_threads(4);
+    let parallel = sweep();
+    acm::exec::configure_threads(before);
+
+    assert_eq!(
+        sequential.0, parallel.0,
+        "seed-sweep aggregates differ between 1 and 4 threads"
+    );
+    assert_eq!(
+        sequential.1, parallel.1,
+        "telemetry JSONL differs between 1 and 4 threads"
+    );
+}
+
+#[test]
 fn seeds_change_the_trajectory_but_not_the_conclusions() {
     let mut spreads = Vec::new();
     for seed in [1, 2, 3] {

@@ -1,63 +1,157 @@
-//! Offline stub of `rayon`: the `par_iter`/`into_par_iter` entry points with
-//! a strictly sequential implementation.
+//! Offline facade of `rayon`, backed by the `acm-exec` work-stealing pool.
 //!
 //! The build container has no registry access, so the real rayon cannot be
-//! fetched. The workspace only uses data-parallel `map/collect` pipelines,
-//! which degrade gracefully to sequential iteration — and sequential
-//! execution is deterministic by construction, which the simulation's
-//! reproducibility tests appreciate.
+//! fetched. This facade keeps rayon's call-site surface — `par_iter`,
+//! `into_par_iter`, `map`/`collect`/`sum`, `join`, `scope` — but executes
+//! on [`acm_exec`]'s std-only pool, which honours the `ACM_THREADS`
+//! knob (`1` = exact sequential path) and collects results in input
+//! order, so parallel runs stay byte-identical to sequential ones.
+//!
+//! Differences from real rayon, acceptable for this workspace:
+//!
+//! * parallel iterators materialise their input into a `Vec` up front
+//!   (every call site iterates small collections of coarse work items);
+//! * only the combinators the workspace uses are provided (`map`,
+//!   `collect`, `sum`);
+//! * [`scope`] task closures take no `&Scope` argument, so tasks cannot
+//!   spawn siblings.
 
-/// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+/// Pool-backed stand-in for `rayon::iter::IntoParallelIterator`.
 pub trait IntoParallelIterator {
-    /// The underlying (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
     /// Item type.
-    type Item;
-    /// "Parallel" iteration — sequential in this stub.
-    fn into_par_iter(self) -> Self::Iter;
+    type Item: Send;
+    /// Materialises the input for parallel consumption.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
 }
 
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-    type Item = T::Item;
-    fn into_par_iter(self) -> T::IntoIter {
-        self.into_iter()
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
     }
 }
 
-/// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+/// Pool-backed stand-in for `rayon::iter::IntoParallelRefIterator`.
 pub trait IntoParallelRefIterator<'data> {
-    /// The underlying (sequential) iterator type.
-    type Iter: Iterator<Item = Self::Item>;
-    /// Item type.
-    type Item: 'data;
-    /// "Parallel" borrowing iteration — sequential in this stub.
-    fn par_iter(&'data self) -> Self::Iter;
+    /// Item type (a borrow of the underlying collection's elements).
+    type Item: Send + 'data;
+    /// Parallel iteration by reference.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
 }
 
 impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
 where
     &'data I: IntoParallelIterator,
 {
-    type Iter = <&'data I as IntoParallelIterator>::Iter;
     type Item = <&'data I as IntoParallelIterator>::Item;
-    fn par_iter(&'data self) -> Self::Iter {
+    fn par_iter(&'data self) -> ParIter<Self::Item> {
         self.into_par_iter()
+    }
+}
+
+/// Collection types a parallel pipeline can [`ParMap::collect`] into,
+/// mirroring `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from index-ordered results.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// A materialised parallel iterator over owned items.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f` on the global pool.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items in input order.
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_par_vec(self.items)
+    }
+
+    /// Sums the items (no mapping work to parallelise).
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// A mapped parallel pipeline awaiting its terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map on the global pool and collects results in input
+    /// order — byte-identical to the sequential pipeline.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromParallelIterator<R>,
+    {
+        C::from_par_vec(acm_exec::map_collect(self.items, self.f))
+    }
+
+    /// Runs the map on the global pool and sums the results in input
+    /// order (kept sequential for floating-point reproducibility).
+    pub fn sum<R, S>(self) -> S
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        S: std::iter::Sum<R>,
+    {
+        acm_exec::map_collect(self.items, self.f).into_iter().sum()
     }
 }
 
 pub mod prelude {
     //! Mirror of `rayon::prelude`.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator};
 }
 
-/// Sequential stand-in for `rayon::join`.
+pub use acm_exec::Scope;
+
+/// Pool-backed stand-in for `rayon::join`.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    acm_exec::join(a, b)
+}
+
+/// Pool-backed stand-in for `rayon::scope` (see the module docs for the
+/// spawn-signature difference).
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope, '_>) -> R,
+{
+    acm_exec::scope(f)
 }
 
 #[cfg(test)]
@@ -65,7 +159,7 @@ mod tests {
     use super::prelude::*;
 
     #[test]
-    fn par_iter_is_sequential_map_collect() {
+    fn par_iter_map_collect_is_input_ordered() {
         let xs = vec![1, 2, 3];
         let doubled: Vec<i32> = xs.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
@@ -74,8 +168,35 @@ mod tests {
     }
 
     #[test]
+    fn map_sum_runs_on_the_pool() {
+        let total: u64 = (0..100u64).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(total, (0..100u64).map(|x| x * x).sum());
+    }
+
+    #[test]
+    fn collect_matches_sequential_at_any_thread_count() {
+        let expect: Vec<String> = (0..64).map(|i| format!("#{i}")).collect();
+        let got: Vec<String> = (0..64).into_par_iter().map(|i| format!("#{i}")).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
     fn join_runs_both() {
         let (a, b) = super::join(|| 1, || 2);
         assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_joins_spawned_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
     }
 }
