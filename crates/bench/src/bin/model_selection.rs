@@ -13,6 +13,7 @@
 use acm_ml::model::ModelKind;
 use acm_ml::toolchain::F2pmToolchain;
 use acm_ml::validate::cross_validate;
+use acm_obs::{MetricValue, Obs, ObsConfig};
 use acm_pcam::training::{collect_database, CollectionConfig};
 use acm_sim::rng::SimRng;
 use acm_vm::{AnomalyConfig, FailureSpec, VmFlavor};
@@ -25,6 +26,7 @@ fn main() {
         .unwrap_or(2016);
     let mut rng = SimRng::new(seed);
     let mut all_output = String::new();
+    let obs = Obs::new(ObsConfig::default());
 
     for flavor in [
         VmFlavor::m3_medium(),
@@ -45,7 +47,7 @@ fn main() {
             db.width()
         );
 
-        let (_, report) = F2pmToolchain::default().run(&db, &mut rng);
+        let (_, report) = F2pmToolchain::default().run_with_obs(&db, &mut rng, &obs);
         println!("lasso selected: {}", report.selected_names.join(", "));
         println!("holdout ranking:");
         print!("{}", report.to_table());
@@ -67,9 +69,52 @@ fn main() {
         all_output.push_str(&format!("flavor,{}\n{}\n", flavor.name, report.to_table()));
     }
 
+    // Where the training time went, across all three flavors: the
+    // toolchain's per-phase timers (`acm.ml.toolchain.*`).
+    println!("=== training-time breakdown (all flavors) ===");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12}",
+        "phase/family", "fits", "total_ms", "mean_ms"
+    );
+    let mut timer_rows = String::from("phase,count,total_ms,mean_ms\n");
+    for m in obs.metrics() {
+        let Some(short) = m.name.strip_prefix("acm.ml.toolchain.") else {
+            continue;
+        };
+        let MetricValue::Histogram(h) = &m.value else {
+            continue;
+        };
+        // `fit_ns.lasso` is the Lasso *family* fit; the bare `lasso_ns`
+        // phase timer is feature selection — keep the labels distinct.
+        let label = match short {
+            "lasso_ns" => "selection".to_string(),
+            "score_ns" => "scoring".to_string(),
+            other => other
+                .strip_prefix("fit_ns.")
+                .unwrap_or(other.trim_end_matches("_ns"))
+                .to_string(),
+        };
+        println!(
+            "{:<14} {:>6} {:>12.1} {:>12.1}",
+            label,
+            h.count,
+            h.sum as f64 / 1e6,
+            h.mean() / 1e6
+        );
+        timer_rows.push_str(&format!(
+            "{label},{},{:.3},{:.3}\n",
+            h.count,
+            h.sum as f64 / 1e6,
+            h.mean() / 1e6
+        ));
+    }
+    println!();
+
     if fs::create_dir_all("results").is_ok() {
         let _ = fs::write("results/model_selection.txt", &all_output);
         println!("wrote results/model_selection.txt");
+        let _ = fs::write("results/model_selection_timers.csv", &timer_rows);
+        println!("wrote results/model_selection_timers.csv");
     }
     println!(
         "\nThe paper deploys REP-Tree (chosen in its earlier F2PM study [26]); the\n\

@@ -137,6 +137,22 @@ fn main() {
         }
     }
 
+    // ----- execution pool ---------------------------------------------------
+    println!("\nexecution pool (acm.exec.*, whole run)");
+    for m in metrics.iter().filter(|m| m.name.starts_with("acm.exec.")) {
+        match &m.value {
+            MetricValue::Counter(v) => println!("{:<44} {v:>12}", m.name),
+            MetricValue::Gauge(v) => println!("{:<44} {v:>12.0}", m.name),
+            MetricValue::Histogram(h) => println!(
+                "{:<44} {:>12} samples, mean {:.1} ms, max {:.1} ms",
+                m.name,
+                h.count,
+                h.mean() / 1e6,
+                h.max as f64 / 1e6
+            ),
+        }
+    }
+
     // ----- decision-log tail -----------------------------------------------
     println!(
         "\ndecision log: {} events retained, {} dropped — last 15:",
@@ -150,5 +166,9 @@ fn main() {
     match std::fs::write("obs_report.jsonl", obs.events_jsonl()) {
         Ok(()) => println!("\nwrote obs_report.jsonl"),
         Err(e) => eprintln!("\nwarning: cannot write obs_report.jsonl: {e}"),
+    }
+    match std::fs::write("obs_metrics.jsonl", obs.metrics_jsonl()) {
+        Ok(()) => println!("wrote obs_metrics.jsonl"),
+        Err(e) => eprintln!("warning: cannot write obs_metrics.jsonl: {e}"),
     }
 }

@@ -4,12 +4,13 @@
 //! touched — the event kernel (new arena queue vs the retained seed
 //! implementation), the discrete-event driver, request dispatch through
 //! `RegionSim`, leader policy steps, REP-Tree training plus
-//! scalar-vs-batched prediction, the observability layer's overhead, and
-//! the execution pool's thread-scaling curve — and writes the numbers to
-//! `BENCH_PR3.json` at the repository root.
+//! scalar-vs-batched prediction, the observability layer's overhead, the
+//! execution pool's thread-scaling curve and the model-selection (tuning
+//! grid + k-fold CV) scaling curve — and writes the numbers to
+//! `BENCH_PR4.json` at the repository root.
 //!
 //! ```text
-//! cargo run --release -p acm-bench --bin perf_report [-- --obs-gate] [--batch-gate] [--scaling-gate]
+//! cargo run --release -p acm-bench --bin perf_report [-- --obs-gate] [--batch-gate] [--scaling-gate] [--cv-scaling-gate]
 //! ```
 //!
 //! Gate modes (the CI regression checks; each runs only its workload and
@@ -21,7 +22,9 @@
 //!   fast as the scalar walk (speedup ≥ 1.0);
 //! * `--scaling-gate` — the parallel training-set harvest must reach
 //!   ≥ 3× at 4 threads, checked only when the machine has ≥ 4 cores
-//!   (skipped, exit 0, otherwise — a 1-core container cannot scale).
+//!   (skipped, exit 0, otherwise — a 1-core container cannot scale);
+//! * `--cv-scaling-gate` — the parallel REP-Tree tuning grid must reach
+//!   ≥ 2× at 4 threads, same ≥ 4-core requirement to run.
 //!
 //! Every workload is deterministic per its hard-coded seed; timings vary
 //! with the machine, the ratios (`*_speedup`, `*_pct`) are the stable
@@ -383,6 +386,73 @@ fn scaling_workload(report: &mut Report) -> f64 {
     gate
 }
 
+/// Thread-scaling curve of the model-selection inner loops this PR
+/// parallelised: the REP-Tree tuning grid (9 candidates × 5 folds through
+/// `tune_rep_tree`) and a standalone 8-fold cross-validation. Sweeps
+/// `ACM_THREADS` ∈ {1, 2, 4, available} like [`scaling_workload`] and
+/// reports per-point throughput plus the speedup over one thread. Returns
+/// the 4-thread tuning-grid speedup (the `--cv-scaling-gate` number;
+/// `NaN` when the sweep never reaches 4 threads).
+fn cv_scaling_workload(report: &mut Report) -> f64 {
+    let avail = acm_exec::available_threads();
+    report.push("cv_scaling_threads_available", avail as f64);
+    let mut points = vec![1usize, 2, 4, avail];
+    points.sort_unstable();
+    points.dedup();
+
+    let mut rng = SimRng::new(2016);
+    let db = collect_database(
+        &VmFlavor::m3_medium(),
+        &AnomalyConfig::default(),
+        &FailureSpec::default(),
+        &CollectionConfig::default(),
+        &mut rng,
+    );
+    let grid = |threads: usize| {
+        acm_exec::configure_threads(threads);
+        let t = time_it(2, 5, || {
+            let mut r = SimRng::new(7);
+            black_box(acm_ml::tuning::tune_rep_tree(black_box(&db), 5, &mut r));
+        });
+        acm_exec::configure_threads(0); // back to the env/core default
+        t
+    };
+    let folds = |threads: usize| {
+        acm_exec::configure_threads(threads);
+        let t = time_it(4, 5, || {
+            let mut r = SimRng::new(7);
+            black_box(acm_ml::validate::cross_validate(
+                acm_ml::model::ModelKind::RepTree,
+                black_box(&db),
+                8,
+                &mut r,
+            ));
+        });
+        acm_exec::configure_threads(0);
+        t
+    };
+
+    let mut grid_base = f64::NAN;
+    let mut fold_base = f64::NAN;
+    let mut gate = f64::NAN;
+    for &threads in &points {
+        let g = grid(threads);
+        let f = folds(threads);
+        if threads == 1 {
+            grid_base = g;
+            fold_base = f;
+        }
+        report.push(&format!("cv_grid_{threads}t_per_s"), 1.0 / g);
+        report.push(&format!("cv_fold_{threads}t_per_s"), 1.0 / f);
+        report.push(&format!("cv_grid_speedup_{threads}t"), grid_base / g);
+        report.push(&format!("cv_fold_speedup_{threads}t"), fold_base / f);
+        if threads == 4 {
+            gate = grid_base / g;
+        }
+    }
+    gate
+}
+
 /// Observability overhead on the 10k-event simulator chain, three ways:
 /// default inert handles (never wired), handles wired against a disabled
 /// `Obs` (the no-op mode), and a fully enabled `Obs` counting every queue
@@ -514,6 +584,21 @@ fn main() {
         println!("\nOK: 4-thread harvest speedup {speedup:.2} >= 3.0");
         return;
     }
+    if std::env::args().any(|a| a == "--cv-scaling-gate") {
+        println!("model-selection scaling gate (tuning grid + k-fold CV)\n");
+        let avail = acm_exec::available_threads();
+        let speedup = cv_scaling_workload(&mut report);
+        if avail < 4 {
+            println!("\nSKIP: CV scaling gate needs >= 4 cores, machine has {avail}");
+            return;
+        }
+        if speedup < 2.0 {
+            eprintln!("\nFAIL: 4-thread tuning-grid speedup {speedup:.2} is below 2.0");
+            std::process::exit(1);
+        }
+        println!("\nOK: 4-thread tuning-grid speedup {speedup:.2} >= 2.0");
+        return;
+    }
 
     println!("hot-path throughput report (fixed seeds, release build)\n");
     queue_workloads(&mut report);
@@ -523,11 +608,12 @@ fn main() {
     rep_tree_workload(&mut report);
     obs_overhead_workload(&mut report);
     scaling_workload(&mut report);
+    cv_scaling_workload(&mut report);
     fig3_workload(&mut report);
 
     let json = report.to_json();
-    match std::fs::write("BENCH_PR3.json", &json) {
-        Ok(()) => println!("\nwrote BENCH_PR3.json"),
-        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR3.json: {e}"),
+    match std::fs::write("BENCH_PR4.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_PR4.json"),
+        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR4.json: {e}"),
     }
 }

@@ -145,6 +145,8 @@ fn main() {
     if fs::create_dir_all("results").is_ok() {
         let _ = fs::write("results/seed_sweep.csv", csv);
         println!("\nwrote results/seed_sweep.csv");
+        let _ = fs::write("results/seed_sweep_metrics.jsonl", rollup.metrics_jsonl());
+        println!("wrote results/seed_sweep_metrics.jsonl");
     }
     println!("\nExpected: Policy 1's spread stays ≫ 1 on every seed; Policies 2/3");
     println!("converge on every seed, with Policy 2 the most stable.");

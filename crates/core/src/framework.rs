@@ -14,8 +14,10 @@
 use crate::config::{ExperimentConfig, PredictorChoice};
 use crate::control_loop::ControlLoop;
 use crate::telemetry::ExperimentTelemetry;
+use acm_exec::PoolStatsSnapshot;
 use acm_ml::model::ModelKind;
 use acm_ml::toolchain::{F2pmToolchain, RttfPredictor};
+use acm_obs::Obs;
 use acm_pcam::training::{collect_database, CollectionConfig};
 use acm_pcam::{RegionConfig, RttfSource, Vmc};
 use acm_sim::rng::SimRng;
@@ -40,6 +42,18 @@ pub fn train_predictors(
     family: ModelKind,
     rng: &mut SimRng,
 ) -> BTreeMap<String, RttfPredictor> {
+    train_predictors_with_obs(cfg, family, rng, &Obs::noop())
+}
+
+/// [`train_predictors`] with the run's observability hub threaded through
+/// to the toolchain, so per-family fit timers (`acm.ml.toolchain.*`) land
+/// in the same registry as the control-loop instruments.
+pub fn train_predictors_with_obs(
+    cfg: &ExperimentConfig,
+    family: ModelKind,
+    rng: &mut SimRng,
+    obs: &Obs,
+) -> BTreeMap<String, RttfPredictor> {
     let mut predictors = BTreeMap::new();
     for spec in &cfg.regions {
         let region = region_with_mix(cfg, &spec.region);
@@ -58,7 +72,7 @@ pub fn train_predictors(
             models: vec![family],
             ..Default::default()
         };
-        let (predictor, _report) = toolchain.run(&db, rng);
+        let (predictor, _report) = toolchain.run_with_obs(&db, rng, obs);
         predictors.insert(flavor.name.clone(), predictor);
     }
     predictors
@@ -66,9 +80,15 @@ pub fn train_predictors(
 
 /// Builds the per-region VMCs with the configured predictor.
 pub fn build_vmcs(cfg: &ExperimentConfig, rng: &mut SimRng) -> Vec<Vmc> {
+    build_vmcs_with_obs(cfg, rng, &Obs::noop())
+}
+
+/// [`build_vmcs`] with the run's observability hub threaded into predictor
+/// training.
+pub fn build_vmcs_with_obs(cfg: &ExperimentConfig, rng: &mut SimRng, obs: &Obs) -> Vec<Vmc> {
     let trained = match cfg.predictor {
         PredictorChoice::Oracle => None,
-        PredictorChoice::Trained(family) => Some(train_predictors(cfg, family, rng)),
+        PredictorChoice::Trained(family) => Some(train_predictors_with_obs(cfg, family, rng, obs)),
     };
     cfg.regions
         .iter()
@@ -86,6 +106,46 @@ pub fn build_vmcs(cfg: &ExperimentConfig, rng: &mut SimRng) -> Vec<Vmc> {
         .collect()
 }
 
+/// Publishes the execution-pool activity since `baseline` into `obs` under
+/// the `acm.exec.*` namespace:
+///
+/// - `acm.exec.steal_count`, `acm.exec.chunks_popped`,
+///   `acm.exec.par_maps`, `acm.exec.seq_maps`, `acm.exec.items`,
+///   `acm.exec.jobs_submitted`, `acm.exec.helpers_inlined` — counters
+///   (deltas against the baseline snapshot);
+/// - `acm.exec.queue_depth` — gauge holding the peak injector queue depth
+///   observed over the pool's lifetime;
+/// - `acm.exec.threads` — gauge with the pool width;
+/// - `acm.exec.worker_busy_ns` — histogram with one sample per worker
+///   (that worker's busy nanoseconds since the baseline).
+///
+/// Bench binaries snapshot [`acm_exec::global_stats`] before a workload and
+/// call this after it; [`run_experiment_with_obs`] does the same around the
+/// whole experiment.
+pub fn publish_exec_stats(obs: &Obs, baseline: &PoolStatsSnapshot) {
+    if !obs.enabled() {
+        return;
+    }
+    let delta = acm_exec::global_stats().delta_since(baseline);
+    obs.counter("acm.exec.steal_count").add(delta.steals);
+    obs.counter("acm.exec.chunks_popped")
+        .add(delta.chunks_popped);
+    obs.counter("acm.exec.par_maps").add(delta.par_maps);
+    obs.counter("acm.exec.seq_maps").add(delta.seq_maps);
+    obs.counter("acm.exec.items").add(delta.items);
+    obs.counter("acm.exec.jobs_submitted")
+        .add(delta.jobs_submitted);
+    obs.counter("acm.exec.helpers_inlined")
+        .add(delta.helpers_inlined);
+    obs.gauge("acm.exec.queue_depth")
+        .set(delta.queue_depth_peak as f64);
+    obs.gauge("acm.exec.threads").set(delta.threads as f64);
+    let busy = obs.histogram("acm.exec.worker_busy_ns");
+    for ns in &delta.worker_busy_ns {
+        busy.record(*ns);
+    }
+}
+
 /// Runs a complete experiment and returns its telemetry. Observability
 /// follows `cfg.obs`; the recorded metrics and events die with the loop —
 /// use [`run_experiment_with_obs`] to inspect them afterwards.
@@ -96,15 +156,21 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentTelemetry {
 
 /// Like [`run_experiment`] but records spans, metrics and the decision log
 /// into the caller's [`acm_obs::Obs`] instance, which outlives the run.
+/// The hub also receives the ML training timers (predictor training runs
+/// through [`train_predictors_with_obs`]) and, on exit, the `acm.exec.*`
+/// execution-pool counters covering the whole experiment
+/// ([`publish_exec_stats`]).
 pub fn run_experiment_with_obs(
     cfg: &ExperimentConfig,
     obs: acm_obs::ObsHandle,
 ) -> ExperimentTelemetry {
     cfg.validate().expect("invalid experiment config");
+    let exec_baseline = acm_exec::global_stats();
     let mut rng = SimRng::new(cfg.seed);
-    let vmcs = build_vmcs(cfg, &mut rng);
-    let mut cl = ControlLoop::new_with_obs(cfg, vmcs, rng, obs);
+    let vmcs = build_vmcs_with_obs(cfg, &mut rng, &obs);
+    let mut cl = ControlLoop::new_with_obs(cfg, vmcs, rng, obs.clone());
     cl.run(cfg.eras);
+    publish_exec_stats(&obs, &exec_baseline);
     cl.into_telemetry()
 }
 
@@ -172,6 +238,39 @@ mod tests {
             ordering < browsing,
             "ordering mix should stress VMs more: {ordering} !< {browsing}"
         );
+    }
+
+    #[test]
+    fn experiment_hub_carries_exec_and_training_instruments() {
+        let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 17);
+        cfg.eras = 5; // trained predictor: training dominates, loop is short
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let _ = run_experiment_with_obs(&cfg, obs.clone());
+        let metrics = obs.metrics();
+        let find = |name: &str| {
+            metrics
+                .iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+        };
+        // Pool stats are published even when the pool ran sequentially:
+        // the items counter covers every map_collect element.
+        match &find("acm.exec.items").value {
+            acm_obs::MetricValue::Counter(n) => assert!(*n > 0, "no pool items counted"),
+            other => panic!("acm.exec.items is {other:?}"),
+        }
+        find("acm.exec.steal_count");
+        find("acm.exec.queue_depth");
+        find("acm.exec.worker_busy_ns");
+        // Training timers from the toolchain land in the same hub.
+        match &find("acm.ml.toolchain.fit_ns.rep-tree").value {
+            acm_obs::MetricValue::Histogram(h) => {
+                assert!(h.count >= 2, "one fit per flavor, got {}", h.count)
+            }
+            other => panic!("fit timer is {other:?}"),
+        }
+        find("acm.ml.toolchain.lasso_ns");
+        find("acm.ml.toolchain.score_ns");
     }
 
     #[test]

@@ -38,6 +38,17 @@
 //! which tests and benchmarks should prefer over mutating the
 //! environment — takes the *exact* sequential `Iterator` path: no worker
 //! threads, no atomics, no reordering of side effects.
+//!
+//! ## Instrumentation
+//!
+//! Every pool keeps relaxed-atomic activity counters — parallel/sequential
+//! maps, items, chunk pops, steals, submitted and caller-inlined helper
+//! jobs, peak queue depth, and per-participant busy time around
+//! `map_collect` participation. [`ThreadPool::stats`] returns a
+//! [`PoolStatsSnapshot`]; [`PoolStatsSnapshot::delta_since`] subtracts a
+//! baseline so callers can attribute activity to one phase of a run. The
+//! counters live off the CAS hot path (one flush per participant per map)
+//! and never influence scheduling, so determinism is unaffected.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -51,6 +62,7 @@ use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 type PanicPayload = Box<dyn Any + Send + 'static>;
@@ -169,6 +181,139 @@ impl JobControl {
 }
 
 // ---------------------------------------------------------------------------
+// pool statistics
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct WorkerStat {
+    busy_ns: AtomicU64,
+    spans: AtomicU64,
+}
+
+/// Relaxed-atomic activity counters owned by one pool. Updated off the
+/// CAS hot path (one flush per participant per map, one bump per queue
+/// submit) so they never perturb scheduling or determinism.
+#[derive(Debug)]
+struct PoolStats {
+    par_maps: AtomicU64,
+    seq_maps: AtomicU64,
+    items: AtomicU64,
+    chunks_popped: AtomicU64,
+    steals: AtomicU64,
+    jobs_submitted: AtomicU64,
+    helpers_inlined: AtomicU64,
+    queue_depth_peak: AtomicU64,
+    workers: Box<[WorkerStat]>,
+}
+
+impl PoolStats {
+    fn new(threads: usize) -> Arc<Self> {
+        Arc::new(PoolStats {
+            par_maps: AtomicU64::new(0),
+            seq_maps: AtomicU64::new(0),
+            items: AtomicU64::new(0),
+            chunks_popped: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            helpers_inlined: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+            workers: (0..threads).map(|_| WorkerStat::default()).collect(),
+        })
+    }
+
+    fn snapshot(&self, threads: usize) -> PoolStatsSnapshot {
+        PoolStatsSnapshot {
+            threads,
+            par_maps: self.par_maps.load(Ordering::Relaxed),
+            seq_maps: self.seq_maps.load(Ordering::Relaxed),
+            items: self.items.load(Ordering::Relaxed),
+            chunks_popped: self.chunks_popped.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            helpers_inlined: self.helpers_inlined.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            worker_busy_ns: self
+                .workers
+                .iter()
+                .map(|w| w.busy_ns.load(Ordering::Relaxed))
+                .collect(),
+            worker_spans: self
+                .workers
+                .iter()
+                .map(|w| w.spans.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of one pool's activity counters, cumulative since
+/// the pool was created. Obtain via [`ThreadPool::stats`] (or
+/// [`global_stats`]); subtract a baseline with [`delta_since`] to
+/// attribute activity to one phase of a run.
+///
+/// [`delta_since`]: PoolStatsSnapshot::delta_since
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStatsSnapshot {
+    /// Participant count of the pool (workers + the caller).
+    pub threads: usize,
+    /// `map_collect` calls that actually fanned out (≥ 2 participants).
+    pub par_maps: u64,
+    /// `map_collect` calls that took the exact sequential path.
+    pub seq_maps: u64,
+    /// Total items moved through `map_collect` (both paths).
+    pub items: u64,
+    /// Chunks participants popped off the front of their own range.
+    pub chunks_popped: u64,
+    /// Successful back-half steals from a victim's range.
+    pub steals: u64,
+    /// Helper jobs pushed onto the pool queue (maps, joins, scope tasks).
+    pub jobs_submitted: u64,
+    /// Queued helpers the *caller* claimed and inlined because no worker
+    /// had started them (saturation / nesting indicator).
+    pub helpers_inlined: u64,
+    /// Deepest the shared job queue has ever been at submit time.
+    pub queue_depth_peak: u64,
+    /// Per-participant wall-clock nanoseconds spent inside `map_collect`
+    /// participation (index 0 is the calling thread).
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-participant count of `map_collect` participations.
+    pub worker_spans: Vec<u64>,
+}
+
+impl PoolStatsSnapshot {
+    /// Counter-wise `self - earlier` (saturating), for attributing pool
+    /// activity to the phase between two snapshots. `threads` and
+    /// `queue_depth_peak` are level values, not counters, and are taken
+    /// from `self` unchanged.
+    pub fn delta_since(&self, earlier: &PoolStatsSnapshot) -> PoolStatsSnapshot {
+        let vec_delta = |now: &[u64], then: &[u64]| -> Vec<u64> {
+            now.iter()
+                .enumerate()
+                .map(|(i, v)| v.saturating_sub(then.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        PoolStatsSnapshot {
+            threads: self.threads,
+            par_maps: self.par_maps.saturating_sub(earlier.par_maps),
+            seq_maps: self.seq_maps.saturating_sub(earlier.seq_maps),
+            items: self.items.saturating_sub(earlier.items),
+            chunks_popped: self.chunks_popped.saturating_sub(earlier.chunks_popped),
+            steals: self.steals.saturating_sub(earlier.steals),
+            jobs_submitted: self.jobs_submitted.saturating_sub(earlier.jobs_submitted),
+            helpers_inlined: self.helpers_inlined.saturating_sub(earlier.helpers_inlined),
+            queue_depth_peak: self.queue_depth_peak,
+            worker_busy_ns: vec_delta(&self.worker_busy_ns, &earlier.worker_busy_ns),
+            worker_spans: vec_delta(&self.worker_spans, &earlier.worker_spans),
+        }
+    }
+
+    /// Sum of all participants' busy time.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.worker_busy_ns.iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // parallel map state
 // ---------------------------------------------------------------------------
 
@@ -180,6 +325,7 @@ struct MapShared<T, R, F> {
     ranges: Box<[AtomicU64]>,
     abort: AtomicBool,
     panic: Mutex<Option<PanicPayload>>,
+    stats: Arc<PoolStats>,
 }
 
 // SAFETY: raw pointers target slots handed out exactly once by the range
@@ -212,13 +358,19 @@ where
 
     /// One participant's work loop: drain own range, then steal.
     fn participate(&self, me: usize) {
+        let started = Instant::now();
         let workers = self.ranges.len();
         let body = || {
+            // Local tallies, flushed once per participation so the stats
+            // atomics stay off the CAS hot path.
+            let mut popped = 0u64;
+            let mut stolen = 0u64;
             'work: loop {
                 if self.abort.load(Ordering::Relaxed) {
                     break;
                 }
                 if let Some((s, e)) = pop_front(&self.ranges[me], self.chunk) {
+                    popped += 1;
                     // SAFETY: indices come from the claiming protocol.
                     unsafe { self.run_chunk(s, e) };
                     continue;
@@ -226,6 +378,7 @@ where
                 for off in 1..workers {
                     let victim = (me + off) % workers;
                     if let Some((mut s, e)) = steal_half(&self.ranges[victim]) {
+                        stolen += 1;
                         // Stolen span is processed privately, chunk by
                         // chunk, so an abort still cuts in promptly.
                         while s < e {
@@ -242,9 +395,21 @@ where
                 }
                 break; // every range is empty
             }
+            (popped, stolen)
         };
-        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(body)) {
-            self.record_panic(payload);
+        match panic::catch_unwind(AssertUnwindSafe(body)) {
+            Ok((popped, stolen)) => {
+                self.stats
+                    .chunks_popped
+                    .fetch_add(popped, Ordering::Relaxed);
+                self.stats.steals.fetch_add(stolen, Ordering::Relaxed);
+            }
+            Err(payload) => self.record_panic(payload),
+        }
+        if let Some(w) = self.stats.workers.get(me) {
+            w.busy_ns
+                .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            w.spans.fetch_add(1, Ordering::Relaxed);
         }
     }
 }
@@ -288,6 +453,7 @@ pub struct ThreadPool {
     shared: Arc<PoolShared>,
     threads: usize,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    stats: Arc<PoolStats>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -320,6 +486,7 @@ impl ThreadPool {
             shared,
             threads,
             workers: Mutex::new(workers),
+            stats: PoolStats::new(threads),
         }
     }
 
@@ -328,10 +495,20 @@ impl ThreadPool {
         self.threads
     }
 
+    /// Activity counters accumulated since the pool was created.
+    pub fn stats(&self) -> PoolStatsSnapshot {
+        self.stats.snapshot(self.threads)
+    }
+
     fn submit(&self, job: Job) {
         let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         q.push_back(job);
+        let depth = q.len() as u64;
         drop(q);
+        self.stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .queue_depth_peak
+            .fetch_max(depth, Ordering::Relaxed);
         self.shared.available.notify_one();
     }
 
@@ -350,8 +527,12 @@ impl ThreadPool {
         let n = items.len();
         let parts = self.threads.min(n);
         if parts <= 1 {
+            self.stats.seq_maps.fetch_add(1, Ordering::Relaxed);
+            self.stats.items.fetch_add(n as u64, Ordering::Relaxed);
             return items.into_iter().map(f).collect();
         }
+        self.stats.par_maps.fetch_add(1, Ordering::Relaxed);
+        self.stats.items.fetch_add(n as u64, Ordering::Relaxed);
         assert!(
             n < u32::MAX as usize,
             "map_collect supports at most 2^32 - 1 items"
@@ -375,6 +556,7 @@ impl ThreadPool {
                 .collect(),
             abort: AtomicBool::new(false),
             panic: Mutex::new(None),
+            stats: Arc::clone(&self.stats),
         };
 
         let control = JobControl::new(parts - 1);
@@ -402,6 +584,7 @@ impl ThreadPool {
             shared_ref.participate(0);
             for w in 1..parts {
                 if control.try_claim(w - 1) {
+                    self.stats.helpers_inlined.fetch_add(1, Ordering::Relaxed);
                     shared_ref.participate(w);
                     control.latch.count_down();
                 }
@@ -485,6 +668,7 @@ impl ThreadPool {
 
         let ra = panic::catch_unwind(AssertUnwindSafe(a));
         if control.try_claim(0) {
+            self.stats.helpers_inlined.fetch_add(1, Ordering::Relaxed);
             run_b();
             control.latch.count_down();
         }
@@ -682,6 +866,15 @@ pub fn current_threads() -> usize {
     global().threads()
 }
 
+/// [`ThreadPool::stats`] of the current global pool. Note that
+/// [`configure_threads`] swaps the pool and therefore resets the
+/// counters; [`PoolStatsSnapshot::delta_since`] saturates at zero, so a
+/// baseline taken on the previous pool yields the new pool's absolute
+/// counts rather than garbage.
+pub fn global_stats() -> PoolStatsSnapshot {
+    global().stats()
+}
+
 /// [`ThreadPool::map_collect`] on the global pool.
 pub fn map_collect<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
@@ -825,6 +1018,51 @@ mod tests {
             .map(|i| (0..50u64).map(|j| i * 100 + j).sum())
             .collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn stats_count_parallel_maps_and_busy_time() {
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        assert_eq!(before.threads, 4);
+        let out = pool.map_collect((0..1000usize).collect(), |i| i * 2);
+        assert_eq!(out.len(), 1000);
+        let d = pool.stats().delta_since(&before);
+        assert_eq!(d.par_maps, 1);
+        assert_eq!(d.seq_maps, 0);
+        assert_eq!(d.items, 1000);
+        assert_eq!(d.jobs_submitted, 3, "one helper job per non-caller part");
+        assert!(d.chunks_popped > 0, "owners must pop chunks");
+        assert!(d.queue_depth_peak >= 1, "submits must register queue depth");
+        assert_eq!(d.worker_busy_ns.len(), 4);
+        assert!(
+            d.worker_busy_ns[0] > 0 && d.worker_spans[0] >= 1,
+            "the caller always participates"
+        );
+        assert!(d.total_busy_ns() >= d.worker_busy_ns[0]);
+    }
+
+    #[test]
+    fn stats_sequential_path_counts_maps_without_jobs() {
+        let pool = ThreadPool::new(1);
+        let before = pool.stats();
+        let _ = pool.map_collect((0..10usize).collect(), |i| i);
+        let _ = pool.map_collect(Vec::<usize>::new(), |i| i);
+        let d = pool.stats().delta_since(&before);
+        assert_eq!((d.seq_maps, d.par_maps, d.items), (2, 0, 10));
+        assert_eq!(d.jobs_submitted, 0);
+        assert_eq!(d.steals, 0);
+    }
+
+    #[test]
+    fn stats_delta_saturates_against_newer_baseline() {
+        let pool = ThreadPool::new(2);
+        let _ = pool.map_collect((0..100usize).collect(), |i| i);
+        let late = pool.stats();
+        let fresh = ThreadPool::new(2).stats();
+        let d = fresh.delta_since(&late);
+        assert_eq!(d.par_maps, 0, "saturating_sub must clamp at zero");
+        assert_eq!(d.items, 0);
     }
 
     #[test]

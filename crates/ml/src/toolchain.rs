@@ -19,6 +19,7 @@ use crate::lasso::LassoRegression;
 use crate::metrics::RegressionMetrics;
 use crate::model::{AnyModel, ModelKind, Regressor};
 use crate::validate::evaluate;
+use acm_obs::{Obs, Timer};
 use acm_sim::rng::SimRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -179,8 +180,24 @@ impl RttfPredictor {
 
 impl F2pmToolchain {
     /// Runs the pipeline on a feature database. Returns the deployable
-    /// predictor (best family) and the full report.
+    /// predictor (best family) and the full report. Un-instrumented
+    /// convenience over [`F2pmToolchain::run_with_obs`].
     pub fn run(&self, db: &Dataset, rng: &mut SimRng) -> (RttfPredictor, F2pmReport) {
+        self.run_with_obs(db, rng, &Obs::noop())
+    }
+
+    /// [`F2pmToolchain::run`] with per-phase training timers published to
+    /// `obs`: `acm.ml.toolchain.lasso_ns` (feature selection),
+    /// `acm.ml.toolchain.fit_ns.<family>` (one histogram per family) and
+    /// `acm.ml.toolchain.score_ns` (holdout scoring, all families) — so
+    /// `model_selection` can report where training time goes. Timers read
+    /// wall-clock only; results are identical to [`F2pmToolchain::run`].
+    pub fn run_with_obs(
+        &self,
+        db: &Dataset,
+        rng: &mut SimRng,
+        obs: &Obs,
+    ) -> (RttfPredictor, F2pmReport) {
         assert!(
             db.len() >= 20,
             "feature database too small ({} rows)",
@@ -189,6 +206,7 @@ impl F2pmToolchain {
         assert!(!self.models.is_empty(), "no model families configured");
 
         // 1. Lasso feature selection on the full database.
+        let lasso_span = obs.timer("acm.ml.toolchain.lasso_ns").start();
         let alpha = self
             .lasso_alpha
             .unwrap_or_else(|| LassoRegression::default_alpha(db));
@@ -203,23 +221,35 @@ impl F2pmToolchain {
             // still train (they will all predict ~the mean).
             selected = (0..db.width()).collect();
         }
+        drop(lasso_span);
         let projected = db.project(&selected);
 
         // 2. Split once; every family sees the same split.
         let (train, holdout) = projected.split(self.train_frac, rng);
 
         // 3. Train the menu in parallel, each family with its own
-        //    deterministic RNG stream.
-        let jobs: Vec<(ModelKind, SimRng)> = self
+        //    deterministic RNG stream and fit timer (resolved here, off
+        //    the parallel path — registry resolution takes a lock).
+        let score_timer = obs.timer("acm.ml.toolchain.score_ns");
+        let jobs: Vec<(ModelKind, SimRng, Timer)> = self
             .models
             .iter()
-            .map(|&kind| (kind, rng.split()))
+            .map(|&kind| {
+                let timer = obs.timer(&format!("acm.ml.toolchain.fit_ns.{}", kind.name()));
+                (kind, rng.split(), timer)
+            })
             .collect();
         let mut results: Vec<(AnyModel, ModelOutcome)> = jobs
             .into_par_iter()
-            .map(|(kind, mut model_rng)| {
-                let model = kind.fit(&train, &mut model_rng);
-                let metrics = evaluate(&model, &holdout);
+            .map(|(kind, mut model_rng, fit_timer)| {
+                let model = {
+                    let _fit = fit_timer.start();
+                    kind.fit(&train, &mut model_rng)
+                };
+                let metrics = {
+                    let _score = score_timer.start();
+                    evaluate(&model, &holdout)
+                };
                 (model, ModelOutcome { kind, metrics })
             })
             .collect();
@@ -372,6 +402,44 @@ mod tests {
         for kind in ModelKind::ALL {
             assert!(table.contains(kind.name()), "missing {kind} in\n{table}");
         }
+    }
+
+    #[test]
+    fn run_with_obs_times_every_training_phase() {
+        use acm_obs::{MetricValue, ObsConfig};
+        let db = rttf_db(300, 20);
+        let tc = F2pmToolchain::default();
+        let obs = Obs::new(ObsConfig::default());
+        let (_, report) = tc.run_with_obs(&db, &mut SimRng::new(21), &obs);
+
+        let hist_count = |name: &str| -> u64 {
+            match obs
+                .metrics()
+                .into_iter()
+                .find(|m| m.name == name)
+                .unwrap_or_else(|| panic!("metric {name} missing"))
+                .value
+            {
+                MetricValue::Histogram(h) => h.count,
+                other => panic!("{name} is not a histogram: {other:?}"),
+            }
+        };
+        assert_eq!(hist_count("acm.ml.toolchain.lasso_ns"), 1);
+        for kind in ModelKind::ALL {
+            assert_eq!(
+                hist_count(&format!("acm.ml.toolchain.fit_ns.{}", kind.name())),
+                1,
+                "one fit per family"
+            );
+        }
+        assert_eq!(
+            hist_count("acm.ml.toolchain.score_ns"),
+            ModelKind::ALL.len() as u64
+        );
+
+        // Instrumentation must not change the result.
+        let (_, bare) = tc.run(&db, &mut SimRng::new(21));
+        assert_eq!(format!("{report:?}"), format!("{bare:?}"));
     }
 
     #[test]

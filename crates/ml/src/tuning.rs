@@ -2,15 +2,22 @@
 //!
 //! F2PM's toolchain "generates and validates alternative ML models" — in
 //! practice that includes picking each family's hyper-parameters, not just
-//! the family. [`grid_search`] is the generic cross-validated selector
-//! (rayon-parallel over candidates: folds are independent work), and the
-//! `tune_*` helpers supply sensible grids per family.
+//! the family. [`grid_search`] is the generic cross-validated selector,
+//! and the `tune_*` helpers supply sensible grids per family.
+//!
+//! The search fans the full `candidate × fold` job matrix out onto the
+//! exec pool (through the vendored-rayon facade) with one RNG stream
+//! pre-split per job **in sequential order** — finer-grained than
+//! per-candidate dispatch, so a 9-candidate grid load-balances across
+//! more than 9 workers, and byte-identical at any `ACM_THREADS` width.
 
 use crate::dataset::Dataset;
 use crate::lssvm::{LsSvm, LsSvmConfig};
 use crate::rep_tree::{RepTree, RepTreeConfig};
 use crate::ridge::RidgeRegression;
 use crate::svr::{LinearSvr, SvrConfig};
+use crate::validate::check_folds;
+pub use crate::validate::CvError;
 use acm_sim::rng::SimRng;
 use rayon::prelude::*;
 
@@ -30,7 +37,84 @@ pub struct TuneResult<C> {
 /// `fit_predict` trains on a fold's training split with the given config
 /// and returns predictions for the validation rows. Candidates are scored
 /// by mean RMSE over `k` folds; ties break toward the earlier grid entry
-/// (grids should be ordered simplest-first).
+/// (grids should be ordered simplest-first). Non-finite candidate scores
+/// rank behind every finite one — a NaN can never win — and a grid where
+/// *nothing* scores finite is [`CvError::NoFiniteScore`]. Degenerate
+/// fold requests (`k < 2`, fewer rows than folds) error up front instead
+/// of panicking mid-search.
+///
+/// Panics on an empty candidate grid — that is a caller bug, not a data
+/// condition.
+pub fn try_grid_search<C, F>(
+    candidates: Vec<C>,
+    ds: &Dataset,
+    k: usize,
+    rng: &mut SimRng,
+    fit_predict: F,
+) -> Result<TuneResult<C>, CvError>
+where
+    C: Clone + Send + Sync,
+    F: Fn(&C, &Dataset, &Dataset, &mut SimRng) -> Vec<f64> + Send + Sync,
+{
+    assert!(!candidates.is_empty(), "empty candidate grid");
+    check_folds(k, ds.len())?;
+    let folds = ds.k_folds(k, rng);
+    let nf = folds.len();
+    // One deterministic RNG stream per (candidate, fold) job, pre-split
+    // in sequential candidate-major order so results are byte-identical
+    // at any pool width.
+    let jobs: Vec<(usize, usize, SimRng)> = (0..candidates.len())
+        .flat_map(|c| (0..nf).map(move |f| (c, f)))
+        .map(|(c, f)| (c, f, rng.split()))
+        .collect();
+
+    let fold_rmse: Vec<f64> = jobs
+        .into_par_iter()
+        .map(|(c, f, mut job_rng)| {
+            let (train, val) = &folds[f];
+            let preds = fit_predict(&candidates[c], train, val, &mut job_rng);
+            assert_eq!(preds.len(), val.len(), "one prediction per row");
+            let mse: f64 = preds
+                .iter()
+                .zip(val.targets())
+                .map(|(p, t)| (p - t) * (p - t))
+                .sum::<f64>()
+                / val.len() as f64;
+            mse.sqrt()
+        })
+        .collect();
+
+    let scores: Vec<(C, f64)> = candidates
+        .into_iter()
+        .enumerate()
+        .map(|(i, cand)| {
+            let sum: f64 = fold_rmse[i * nf..(i + 1) * nf].iter().sum();
+            (cand, sum / nf as f64)
+        })
+        .collect();
+
+    // Rank non-finite scores behind every finite one (total_cmp orders
+    // NaN above +inf, but mapping both to +inf keeps ties deterministic:
+    // earliest grid entry wins).
+    let rank = |s: f64| if s.is_finite() { s } else { f64::INFINITY };
+    let best_idx = scores
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| rank(a.1).total_cmp(&rank(b.1)))
+        .map(|(i, _)| i)
+        .expect("non-empty grid");
+    if !scores[best_idx].1.is_finite() {
+        return Err(CvError::NoFiniteScore);
+    }
+    Ok(TuneResult {
+        config: scores[best_idx].0.clone(),
+        cv_rmse: scores[best_idx].1,
+        scores,
+    })
+}
+
+/// [`try_grid_search`] that panics on degenerate inputs (empty grid, bad
+/// fold request, all-non-finite scores) instead of returning an error.
 pub fn grid_search<C, F>(
     candidates: Vec<C>,
     ds: &Dataset,
@@ -42,41 +126,8 @@ where
     C: Clone + Send + Sync,
     F: Fn(&C, &Dataset, &Dataset, &mut SimRng) -> Vec<f64> + Send + Sync,
 {
-    assert!(!candidates.is_empty(), "empty candidate grid");
-    let folds = ds.k_folds(k, rng);
-    // One deterministic RNG stream per candidate.
-    let jobs: Vec<(C, SimRng)> = candidates.into_iter().map(|c| (c, rng.split())).collect();
-
-    let scores: Vec<(C, f64)> = jobs
-        .into_par_iter()
-        .map(|(cand, mut cand_rng)| {
-            let mut rmse_sum = 0.0;
-            for (train, val) in &folds {
-                let preds = fit_predict(&cand, train, val, &mut cand_rng);
-                assert_eq!(preds.len(), val.len(), "one prediction per row");
-                let mse: f64 = preds
-                    .iter()
-                    .zip(val.targets())
-                    .map(|(p, t)| (p - t) * (p - t))
-                    .sum::<f64>()
-                    / val.len() as f64;
-                rmse_sum += mse.sqrt();
-            }
-            (cand, rmse_sum / folds.len() as f64)
-        })
-        .collect();
-
-    let best_idx = scores
-        .iter()
-        .enumerate()
-        .min_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("finite RMSE"))
-        .map(|(i, _)| i)
-        .expect("non-empty grid");
-    TuneResult {
-        config: scores[best_idx].0.clone(),
-        cv_rmse: scores[best_idx].1,
-        scores,
-    }
+    try_grid_search(candidates, ds, k, rng, fit_predict)
+        .unwrap_or_else(|e| panic!("grid_search: {e}"))
 }
 
 /// Tunes REP-Tree depth/support limits.
@@ -222,6 +273,63 @@ mod tests {
         let lssvm = tune_lssvm(&ds, 3, &mut rng);
         assert!(lssvm.scores.len() == 9);
         assert!(lssvm.cv_rmse < svr.cv_rmse * 2.0);
+    }
+
+    #[test]
+    fn nan_scores_never_win_the_grid() {
+        // Candidate 0 poisons its predictions with NaN; candidate 1 is a
+        // sane mean predictor. The NaN must lose, loudly ranked last.
+        let ds = stepped_ds(12);
+        let mut rng = SimRng::new(13);
+        let result = grid_search(
+            vec!["poison", "mean"],
+            &ds,
+            3,
+            &mut rng,
+            |cand, train, val, _| {
+                if *cand == "poison" {
+                    vec![f64::NAN; val.len()]
+                } else {
+                    vec![train.target_mean(); val.len()]
+                }
+            },
+        );
+        assert_eq!(result.config, "mean");
+        assert!(result.cv_rmse.is_finite());
+        assert!(result.scores[0].1.is_nan(), "poison scored NaN as recorded");
+    }
+
+    #[test]
+    fn all_nan_grid_is_an_error_not_a_silent_winner() {
+        let ds = stepped_ds(14);
+        let err = try_grid_search(
+            vec![1.0, 2.0],
+            &ds,
+            3,
+            &mut SimRng::new(15),
+            |_, _, val, _| vec![f64::NAN; val.len()],
+        )
+        .unwrap_err();
+        assert_eq!(err, CvError::NoFiniteScore);
+    }
+
+    #[test]
+    fn degenerate_fold_requests_error_up_front() {
+        let ds = stepped_ds(16);
+        let mut rng = SimRng::new(17);
+        let err = try_grid_search(vec![0.0], &ds, 1, &mut rng, |_, _, val, _| {
+            vec![0.0; val.len()]
+        })
+        .unwrap_err();
+        assert_eq!(err, CvError::TooFewFolds { k: 1 });
+        let mut tiny = Dataset::new(["x"]);
+        tiny.push(vec![0.0], 0.0);
+        tiny.push(vec![1.0], 1.0);
+        let err = try_grid_search(vec![0.0], &tiny, 3, &mut rng, |_, _, val, _| {
+            vec![0.0; val.len()]
+        })
+        .unwrap_err();
+        assert_eq!(err, CvError::TooFewRows { rows: 2, k: 3 });
     }
 
     #[test]

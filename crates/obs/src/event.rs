@@ -8,12 +8,25 @@
 //! seed the log is byte-identical across runs and machines — which is
 //! what makes it usable as a regression artifact.
 //!
-//! Storage is a fixed-capacity ring: once full, the oldest records are
-//! overwritten and counted in [`EventLog::dropped`]. Capacity 0 makes the
-//! log inert (used by the no-op hub).
+//! ## Retention policy
+//!
+//! Storage is **per event kind**: each kind gets its own bounded store of
+//! `capacity` records, split into a pinned *head* (the first `capacity/4`
+//! records of that kind, kept forever) and a *tail* ring (the most recent
+//! `capacity - capacity/4`, overwriting oldest). A long run can therefore
+//! never let a chatty kind (e.g. `ewma.update`) evict another kind's
+//! history, and even within one kind the earliest decisions — era-0
+//! rejuvenations, the first plan install — survive arbitrarily long
+//! floods. Overwritten records are counted in [`EventLog::dropped`].
+//! Memory stays bounded because the set of kinds is small and closed
+//! (each emitter uses a `&'static str` tag).
+//!
+//! Readers ([`EventLog::tail`], [`EventLog::to_jsonl`]) merge all kinds
+//! back into one stream ordered by global sequence number. Capacity 0
+//! makes the log inert (used by the no-op hub).
 
 use crate::json::{push_escaped, push_f64, JsonObject};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Mutex;
 
 /// A typed event-field value.
@@ -121,63 +134,99 @@ impl EventRecord {
     }
 }
 
+/// One kind's bounded store: a pinned head (first records of the kind,
+/// never evicted) plus a tail ring over the most recent ones.
 #[derive(Debug, Default)]
-struct Ring {
-    records: VecDeque<EventRecord>,
-    seq: u64,
+struct KindStore {
+    head: Vec<EventRecord>,
+    tail: VecDeque<EventRecord>,
     dropped: u64,
 }
 
-/// Fixed-capacity ring buffer of [`EventRecord`]s.
+#[derive(Debug, Default)]
+struct Stores {
+    kinds: BTreeMap<&'static str, KindStore>,
+    seq: u64,
+}
+
+/// Bounded, per-kind retention store of [`EventRecord`]s (see the module
+/// docs for the head/tail policy).
 #[derive(Debug)]
 pub struct EventLog {
-    capacity: usize,
-    ring: Mutex<Ring>,
+    head_cap: usize,
+    tail_cap: usize,
+    stores: Mutex<Stores>,
 }
 
 impl EventLog {
-    /// A log retaining up to `capacity` records (0 = record nothing).
+    /// A log retaining up to `capacity` records **per event kind** — the
+    /// first `capacity/4` pinned, the rest a most-recent ring (0 = record
+    /// nothing).
     pub fn new(capacity: usize) -> Self {
+        let head_cap = capacity / 4;
         EventLog {
-            capacity,
-            ring: Mutex::new(Ring {
-                records: VecDeque::with_capacity(capacity.min(1024)),
-                seq: 0,
-                dropped: 0,
-            }),
+            head_cap,
+            tail_cap: capacity - head_cap,
+            stores: Mutex::new(Stores::default()),
         }
     }
 
-    /// Appends one record, evicting the oldest when full.
+    /// Appends one record; once its kind's store is full the oldest
+    /// *unpinned* record of that kind is evicted.
     pub fn push(&self, t_us: u64, kind: &'static str, fields: Vec<(&'static str, Value)>) {
-        if self.capacity == 0 {
+        if self.head_cap + self.tail_cap == 0 {
             return;
         }
-        let mut ring = self.ring.lock().unwrap();
-        let seq = ring.seq;
-        ring.seq += 1;
-        if ring.records.len() == self.capacity {
-            ring.records.pop_front();
-            ring.dropped += 1;
-        }
-        ring.records.push_back(EventRecord {
+        let mut stores = self.stores.lock().unwrap();
+        let seq = stores.seq;
+        stores.seq += 1;
+        let rec = EventRecord {
             seq,
             t_us,
             kind,
             fields,
-        });
+        };
+        let store = stores.kinds.entry(kind).or_default();
+        if store.head.len() < self.head_cap {
+            store.head.push(rec);
+        } else {
+            if store.tail.len() == self.tail_cap {
+                store.tail.pop_front();
+                store.dropped += 1;
+            }
+            store.tail.push_back(rec);
+        }
     }
 
-    /// The most recent `n` records, oldest first.
+    /// All retained records across kinds, ordered by sequence number.
+    fn merged(stores: &Stores) -> Vec<EventRecord> {
+        let mut out: Vec<EventRecord> = stores
+            .kinds
+            .values()
+            .flat_map(|s| s.head.iter().chain(s.tail.iter()).cloned())
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// The most recent `n` retained records (by sequence number across
+    /// all kinds), oldest first.
     pub fn tail(&self, n: usize) -> Vec<EventRecord> {
-        let ring = self.ring.lock().unwrap();
-        let skip = ring.records.len().saturating_sub(n);
-        ring.records.iter().skip(skip).cloned().collect()
+        let stores = self.stores.lock().unwrap();
+        let mut all = Self::merged(&stores);
+        let skip = all.len().saturating_sub(n);
+        all.drain(..skip);
+        all
     }
 
-    /// Records currently retained.
+    /// Records currently retained (all kinds).
     pub fn len(&self) -> usize {
-        self.ring.lock().unwrap().records.len()
+        let stores = self.stores.lock().unwrap();
+        stores
+            .kinds
+            .values()
+            .map(|s| s.head.len() + s.tail.len())
+            .sum()
     }
 
     /// True when nothing is retained.
@@ -185,17 +234,18 @@ impl EventLog {
         self.len() == 0
     }
 
-    /// Records overwritten after the ring filled.
+    /// Records evicted after a kind's store filled (all kinds).
     pub fn dropped(&self) -> u64 {
-        self.ring.lock().unwrap().dropped
+        let stores = self.stores.lock().unwrap();
+        stores.kinds.values().map(|s| s.dropped).sum()
     }
 
-    /// All retained records as JSON Lines, oldest first (empty string when
-    /// nothing is retained).
+    /// All retained records as JSON Lines, ordered by sequence number
+    /// (empty string when nothing is retained).
     pub fn to_jsonl(&self) -> String {
-        let ring = self.ring.lock().unwrap();
+        let stores = self.stores.lock().unwrap();
         let mut out = String::new();
-        for rec in &ring.records {
+        for rec in Self::merged(&stores) {
             out.push_str(&rec.to_json());
             out.push('\n');
         }
@@ -235,6 +285,55 @@ mod tests {
         assert_eq!(last_two.len(), 2);
         assert_eq!(last_two[0].seq, 3);
         assert_eq!(last_two[1].seq, 4);
+    }
+
+    #[test]
+    fn chatty_kind_cannot_evict_another_kinds_history() {
+        // Capacity 8 per kind: head 2 pinned + tail ring 6.
+        let log = EventLog::new(8);
+        log.push(
+            0,
+            "rejuvenation.proactive",
+            vec![("era", Value::from(0u64))],
+        );
+        for i in 0..100u64 {
+            log.push(10 + i, "ewma.update", vec![("i", Value::from(i))]);
+        }
+        let all = log.tail(usize::MAX);
+        // The lone rejuvenation record survives a 100-event flood of
+        // another kind (the old single-ring design evicted it).
+        assert!(
+            all.iter()
+                .any(|r| r.kind == "rejuvenation.proactive" && r.seq == 0),
+            "era-0 decision must survive the flood"
+        );
+        // Within the chatty kind: first 2 pinned + most recent 6.
+        let ewma: Vec<u64> = all
+            .iter()
+            .filter(|r| r.kind == "ewma.update")
+            .map(|r| r.seq)
+            .collect();
+        assert_eq!(ewma, vec![1, 2, 95, 96, 97, 98, 99, 100]);
+        assert_eq!(log.len(), 9);
+        assert_eq!(log.dropped(), 92);
+    }
+
+    #[test]
+    fn merged_views_are_ordered_by_sequence_across_kinds() {
+        let log = EventLog::new(8);
+        for i in 0..6u64 {
+            let kind = if i % 2 == 0 { "a" } else { "b" };
+            log.push(i, kind, vec![]);
+        }
+        let seqs: Vec<u64> = log.tail(usize::MAX).iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        let jsonl = log.to_jsonl();
+        let first_lines: Vec<&str> = jsonl.lines().take(2).collect();
+        assert!(first_lines[0].starts_with("{\"seq\":0,"));
+        assert!(first_lines[1].starts_with("{\"seq\":1,"));
+        // tail(n) still means "most recent n" in the merged order.
+        let last = log.tail(2);
+        assert_eq!((last[0].seq, last[1].seq), (4, 5));
     }
 
     #[test]

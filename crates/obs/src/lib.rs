@@ -19,8 +19,8 @@
 //!
 //! Everything hangs off an [`Obs`] handle created from an [`ObsConfig`].
 //! The default configuration is **on-but-cheap**: metrics are relaxed
-//! atomics, spans cost two `Instant` reads, and events go into a fixed
-//! ring. [`Obs::noop`] yields a disabled instance whose every operation
+//! atomics, spans cost two `Instant` reads, and events go into bounded
+//! per-kind stores that pin each kind's earliest records. [`Obs::noop`] yields a disabled instance whose every operation
 //! reduces to one branch — its overhead on the hot simulator chain is
 //! benchmarked (< 2 %) by `perf_report --obs-gate`.
 //!
@@ -72,13 +72,16 @@ pub struct ObsConfig {
     /// Record metrics, spans and events. When `false` every instrument is
     /// inert (a single branch on the hot path).
     pub enabled: bool,
-    /// Ring-buffer capacity of the structured event log; once full, the
-    /// oldest records are overwritten (and counted as dropped).
+    /// Retention capacity of the structured event log, **per event
+    /// kind**: the first quarter of each kind's budget is pinned forever
+    /// (early decisions survive long runs), the rest is a most-recent
+    /// ring whose evictions are counted as dropped. See
+    /// [`event`](crate::event) for the full policy.
     pub event_capacity: usize,
 }
 
 impl Default for ObsConfig {
-    /// On-but-cheap: instruments live, 4096-event ring.
+    /// On-but-cheap: instruments live, 4096 retained events per kind.
     fn default() -> Self {
         ObsConfig {
             enabled: true,
@@ -209,17 +212,23 @@ impl Obs {
         }
     }
 
+    /// Snapshot of every registered metric as JSON Lines (one object per
+    /// metric, sorted by name) — see [`MetricsRegistry::to_jsonl`].
+    pub fn metrics_jsonl(&self) -> String {
+        self.registry.to_jsonl()
+    }
+
     /// The most recent `n` event records (oldest first).
     pub fn events_tail(&self, n: usize) -> Vec<EventRecord> {
         self.events.tail(n)
     }
 
-    /// Events currently retained in the ring.
+    /// Events currently retained across all kinds.
     pub fn events_len(&self) -> usize {
         self.events.len()
     }
 
-    /// Events overwritten after the ring filled.
+    /// Events evicted after a kind's retention budget filled.
     pub fn events_dropped(&self) -> u64 {
         self.events.dropped()
     }

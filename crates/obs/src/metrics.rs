@@ -401,6 +401,43 @@ impl MetricsRegistry {
         }
     }
 
+    /// Every registered metric as JSON Lines, one object per metric,
+    /// sorted by name. Counters: `{"name","type":"counter","value"}`;
+    /// gauges: `{"name","type":"gauge","value"}` (`null` when non-finite);
+    /// histograms carry `count/sum/min/max/mean/p50/p90/p99`. One call =
+    /// one registry snapshot, suitable for writing alongside the event
+    /// log so sweeps can diff instrument values mechanically.
+    pub fn to_jsonl(&self) -> String {
+        use crate::json::JsonObject;
+        let mut out = String::new();
+        for m in self.snapshot() {
+            let mut o = JsonObject::new();
+            o.field_str("name", &m.name);
+            match m.value {
+                MetricValue::Counter(v) => {
+                    o.field_str("type", "counter").field_u64("value", v);
+                }
+                MetricValue::Gauge(v) => {
+                    o.field_str("type", "gauge").field_f64("value", v);
+                }
+                MetricValue::Histogram(h) => {
+                    o.field_str("type", "histogram")
+                        .field_u64("count", h.count)
+                        .field_u64("sum", h.sum)
+                        .field_u64("min", h.min)
+                        .field_u64("max", h.max)
+                        .field_f64("mean", h.mean())
+                        .field_u64("p50", h.p50())
+                        .field_u64("p90", h.p90())
+                        .field_u64("p99", h.p99());
+                }
+            }
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Every registered metric with its current state, sorted by name.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         let map = self.inner.lock().expect("metrics registry poisoned");
@@ -552,6 +589,34 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert!(matches!(snap[0].value, MetricValue::Counter(42)));
         assert!(matches!(snap[1].value, MetricValue::Gauge(v) if v == -2.5));
+    }
+
+    #[test]
+    fn jsonl_export_covers_all_instrument_kinds() {
+        let reg = MetricsRegistry::new(true);
+        reg.counter("acm.test.jsonl.c").add(7);
+        reg.gauge("acm.test.jsonl.g").set(2.5);
+        reg.gauge("acm.test.jsonl.nan").set(f64::NAN);
+        let h = reg.histogram("acm.test.jsonl.h");
+        h.record(10);
+        h.record(1000);
+        let lines: Vec<String> = reg.to_jsonl().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 4, "one line per metric");
+        assert_eq!(
+            lines[0],
+            r#"{"name":"acm.test.jsonl.c","type":"counter","value":7}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"name":"acm.test.jsonl.g","type":"gauge","value":2.5}"#
+        );
+        assert!(lines[2].starts_with(r#"{"name":"acm.test.jsonl.h","type":"histogram","count":2,"sum":1010,"min":10,"max":1000,"#));
+        assert_eq!(
+            lines[3],
+            r#"{"name":"acm.test.jsonl.nan","type":"gauge","value":null}"#
+        );
+        // Disabled registries export nothing.
+        assert_eq!(MetricsRegistry::new(false).to_jsonl(), "");
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! * [`vm`] — VM / anomaly / failure-point substrate,
 //! * [`ml`] — the F2PM model toolchain (OLS, Ridge, Lasso, REP-Tree, M5P,
 //!   SVR, LS-SVM),
+//! * [`obs`] — in-process observability (metrics, spans, decision log),
 //! * [`overlay`] — controller overlay network and leader election,
 //! * [`pcam`] — per-region proactive rejuvenation and local balancing,
 //! * [`workload`] — TPC-W-like closed-loop traffic generation,
@@ -32,6 +33,7 @@
 pub use acm_core as core;
 pub use acm_exec as exec;
 pub use acm_ml as ml;
+pub use acm_obs as obs;
 pub use acm_overlay as overlay;
 pub use acm_pcam as pcam;
 pub use acm_sim as sim;

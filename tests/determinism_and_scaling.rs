@@ -68,6 +68,56 @@ fn parallel_execution_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn model_selection_is_byte_identical_across_thread_widths() {
+    // The tentpole contract of the parallel CV/tuning rework: every tuning
+    // grid and a standalone k-fold CV must produce byte-identical results
+    // (Debug floats round-trip exactly) at ACM_THREADS=1 — the pure
+    // sequential path — and on a 4-thread pool, because fold/candidate RNG
+    // streams are pre-split sequentially before the parallel dispatch.
+    use acm::ml::model::ModelKind;
+    use acm::ml::tuning::{tune_lssvm, tune_rep_tree, tune_ridge, tune_svr};
+    use acm::ml::validate::cross_validate;
+    use acm::ml::Dataset;
+    use acm::sim::rng::SimRng;
+
+    let db = {
+        let mut rng = SimRng::new(404);
+        let mut db = Dataset::new(["a", "b", "c"]);
+        for _ in 0..240 {
+            let a = rng.uniform(0.0, 10.0);
+            let b = rng.uniform(0.0, 5.0);
+            let c = rng.uniform(0.0, 1.0);
+            let y = 3.0 * a - 2.0 * b + rng.normal(0.0, 0.3);
+            db.push(vec![a, b, c], y);
+        }
+        db
+    };
+    let selection = || {
+        let mut rng = SimRng::new(99);
+        format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}",
+            tune_rep_tree(&db, 5, &mut rng),
+            tune_ridge(&db, 5, &mut rng),
+            tune_svr(&db, 4, &mut rng),
+            tune_lssvm(&db, 4, &mut rng),
+            cross_validate(ModelKind::RepTree, &db, 6, &mut rng),
+        )
+    };
+
+    let before = acm::exec::current_threads();
+    acm::exec::configure_threads(1);
+    let sequential = selection();
+    acm::exec::configure_threads(4);
+    let parallel = selection();
+    acm::exec::configure_threads(before);
+
+    assert_eq!(
+        sequential, parallel,
+        "tuning/CV results differ between 1 and 4 threads"
+    );
+}
+
+#[test]
 fn seeds_change_the_trajectory_but_not_the_conclusions() {
     let mut spreads = Vec::new();
     for seed in [1, 2, 3] {
