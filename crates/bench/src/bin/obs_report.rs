@@ -17,6 +17,37 @@ use acm_core::framework::run_experiment_with_obs;
 use acm_core::policy::PolicyKind;
 use acm_obs::{HistogramSnapshot, MetricValue, Obs, ObsConfig};
 
+/// One metric line with a unit inferred from the name suffix: `_ns`
+/// histograms print in milliseconds, `_us` in microseconds, anything
+/// else (hop counts, queue depths, item counts) as raw values.
+fn print_metric_row(name: &str, value: &MetricValue) {
+    match value {
+        MetricValue::Counter(v) => println!("{name:<44} {v:>12}"),
+        MetricValue::Gauge(v) => println!("{name:<44} {v:>12.0}"),
+        MetricValue::Histogram(h) if name.ends_with("_ns") => println!(
+            "{:<44} {:>12} samples, mean {:.3} ms, max {:.3} ms",
+            name,
+            h.count,
+            h.mean() / 1e6,
+            h.max as f64 / 1e6
+        ),
+        MetricValue::Histogram(h) if name.ends_with("_us") => println!(
+            "{:<44} {:>12} samples, mean {:.1} us, max {} us",
+            name,
+            h.count,
+            h.mean(),
+            h.max
+        ),
+        MetricValue::Histogram(h) => println!(
+            "{:<44} {:>12} samples, mean {:.1}, max {}",
+            name,
+            h.count,
+            h.mean(),
+            h.max
+        ),
+    }
+}
+
 fn print_phase_row(label: &str, h: &HistogramSnapshot) {
     println!(
         "{:<12} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
@@ -137,20 +168,19 @@ fn main() {
         }
     }
 
+    // ----- overlay transport ------------------------------------------------
+    println!("\noverlay transport (acm.overlay.*, whole run)");
+    for m in metrics
+        .iter()
+        .filter(|m| m.name.starts_with("acm.overlay."))
+    {
+        print_metric_row(&m.name, &m.value);
+    }
+
     // ----- execution pool ---------------------------------------------------
     println!("\nexecution pool (acm.exec.*, whole run)");
     for m in metrics.iter().filter(|m| m.name.starts_with("acm.exec.")) {
-        match &m.value {
-            MetricValue::Counter(v) => println!("{:<44} {v:>12}", m.name),
-            MetricValue::Gauge(v) => println!("{:<44} {v:>12.0}", m.name),
-            MetricValue::Histogram(h) => println!(
-                "{:<44} {:>12} samples, mean {:.1} ms, max {:.1} ms",
-                m.name,
-                h.count,
-                h.mean() / 1e6,
-                h.max as f64 / 1e6
-            ),
-        }
+        print_metric_row(&m.name, &m.value);
     }
 
     // ----- decision-log tail -----------------------------------------------

@@ -14,11 +14,12 @@
 //! `three_region_fig4` the Figure-4 deployment (all three regions).
 
 use crate::autoscale::AutoscaleConfig;
+use crate::degrade::DegradationConfig;
 use crate::policy::PolicyKind;
 use crate::scenario::Scenario;
 use acm_ml::model::ModelKind;
 use acm_obs::ObsConfig;
-use acm_overlay::NodeId;
+use acm_overlay::{FaultPlan, NodeId};
 use acm_pcam::RegionConfig;
 use acm_sim::time::{Duration, SimTime};
 use acm_vm::VmFlavor;
@@ -93,6 +94,15 @@ pub struct ExperimentConfig {
     pub autoscale: AutoscaleConfig,
     /// Scheduled overlay faults.
     pub link_faults: Vec<LinkFault>,
+    /// Deterministic chaos schedule replayed against the overlay
+    /// transport (link flaps, crashes, partitions, leader kills,
+    /// per-message drop/delay). `None` keeps the chaos layer entirely
+    /// out of the loop — telemetry is byte-identical to a build without
+    /// it.
+    pub fault_plan: Option<FaultPlan>,
+    /// Leader-side graceful degradation (staleness quarantine, report
+    /// retries, re-admission hysteresis). Disabled by default.
+    pub degradation: DegradationConfig,
     /// Scripted runtime reconfigurations.
     pub scenario: Scenario,
     /// TPC-W interaction mix driven by the emulated browsers; scales the
@@ -166,6 +176,8 @@ impl ExperimentConfig {
             predictor: PredictorChoice::Trained(ModelKind::RepTree),
             autoscale: AutoscaleConfig::default(),
             link_faults: Vec::new(),
+            fault_plan: None,
+            degradation: DegradationConfig::default(),
             scenario: Scenario::none(),
             mix: TpcwMix::Shopping,
             obs: ObsConfig::default(),
@@ -205,6 +217,8 @@ impl ExperimentConfig {
             predictor: PredictorChoice::Trained(ModelKind::RepTree),
             autoscale: AutoscaleConfig::default(),
             link_faults: Vec::new(),
+            fault_plan: None,
+            degradation: DegradationConfig::default(),
             scenario: Scenario::none(),
             mix: TpcwMix::Shopping,
             obs: ObsConfig::default(),
@@ -246,6 +260,10 @@ impl ExperimentConfig {
                 return Err("fault must recover after it fails".into());
             }
         }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.regions.len() as u32)?;
+        }
+        self.degradation.validate()?;
         for spec in &self.regions {
             spec.region.flavor.validate()?;
             spec.region.anomaly.validate()?;

@@ -32,6 +32,7 @@ pub mod autoscale;
 pub mod config;
 pub mod control_loop;
 pub mod cost;
+pub mod degrade;
 pub mod ewma;
 pub mod framework;
 pub mod plan;
@@ -41,6 +42,7 @@ pub mod telemetry;
 
 pub use config::{ExperimentConfig, PredictorChoice, RegionSpec};
 pub use control_loop::ControlLoop;
+pub use degrade::{DegradationConfig, HealthTracker, RegionHealth};
 pub use ewma::RmttfEwma;
 pub use framework::{run_experiment, run_experiment_with_obs};
 pub use plan::ForwardPlan;

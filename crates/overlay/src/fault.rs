@@ -1,0 +1,661 @@
+//! Deterministic fault injection for the overlay.
+//!
+//! A [`FaultPlan`] is a seeded schedule of topology faults (link flaps,
+//! node crashes, partitions with scheduled heals, leader kills) plus
+//! optional probabilistic per-message chaos (drop / extra delay). The
+//! [`ChaosLayer`] replays the plan against a [`Transport`]: scheduled
+//! faults are applied at era boundaries by the control loop, message
+//! chaos is consulted on every control-plane send.
+//!
+//! Determinism discipline (same as the exec pool's pre-split RNG rule):
+//! the layer owns a private [`SimRng`] seeded from `FaultPlan::seed`, so
+//! injecting faults never perturbs the experiment's master RNG stream —
+//! a run with `fault_plan: None` and a run with an *empty* plan are
+//! byte-identical, and any fixed plan+seed replays byte-identically at
+//! every `ACM_THREADS` width. Every injected fault is emitted as an obs
+//! event (`chaos.link.fail`, `chaos.partition`, …) stamped with its
+//! scheduled sim time, so event logs stay seed-deterministic too.
+
+use crate::graph::{LinkId, NodeId};
+use crate::transport::Transport;
+use acm_obs::{Counter, Hist, Obs, ObsHandle, Value};
+use acm_sim::rng::SimRng;
+use acm_sim::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One injectable topology fault.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Cut the direct link `a`–`b`.
+    FailLink(NodeId, NodeId),
+    /// Restore the direct link `a`–`b`.
+    RecoverLink(NodeId, NodeId),
+    /// Crash a controller node (all its links stop carrying traffic).
+    CrashNode(NodeId),
+    /// Revive a crashed controller node.
+    RecoverNode(NodeId),
+    /// Isolate `group` from the rest of the overlay by cutting every
+    /// currently-usable crossing link. The cut set is remembered so the
+    /// matching [`FaultAction::Heal`] restores exactly those links.
+    Partition(Vec<NodeId>),
+    /// Undo the open partition with the same `group`.
+    Heal(Vec<NodeId>),
+    /// Crash whichever node is the leader when the fault fires (resolved
+    /// at apply time, so it composes with earlier kills and elections).
+    KillLeader,
+}
+
+/// A fault scheduled at an absolute sim time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires (applied at the first era boundary >= `at`).
+    pub at: SimTime,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// Probabilistic per-message chaos on control-plane sends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MessageChaos {
+    /// Probability that a routable message is dropped anyway.
+    pub drop_prob: f64,
+    /// Upper bound for uniform extra delivery delay (zero disables).
+    pub extra_delay_max: Duration,
+}
+
+impl Default for MessageChaos {
+    fn default() -> Self {
+        MessageChaos {
+            drop_prob: 0.0,
+            extra_delay_max: Duration::ZERO,
+        }
+    }
+}
+
+impl MessageChaos {
+    /// True when this config can never touch a message (no RNG draws).
+    pub fn is_inert(&self) -> bool {
+        self.drop_prob <= 0.0 && self.extra_delay_max.is_zero()
+    }
+}
+
+/// A seeded, fully deterministic fault schedule.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the chaos layer's private RNG stream (message chaos).
+    pub seed: u64,
+    /// Scheduled topology faults (sorted by the layer on construction).
+    pub events: Vec<FaultEvent>,
+    /// Per-message drop/delay chaos.
+    pub message: MessageChaos,
+}
+
+impl FaultPlan {
+    /// A plan with only scripted events.
+    pub fn scripted(seed: u64, events: Vec<FaultEvent>) -> Self {
+        FaultPlan {
+            seed,
+            events,
+            message: MessageChaos::default(),
+        }
+    }
+
+    /// Appends a partition of `group` at `at`, healed at `heal_at`.
+    pub fn partition_window(mut self, group: Vec<NodeId>, at: SimTime, heal_at: SimTime) -> Self {
+        assert!(at <= heal_at, "heal must not precede the partition");
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::Partition(group.clone()),
+        });
+        self.events.push(FaultEvent {
+            at: heal_at,
+            action: FaultAction::Heal(group),
+        });
+        self
+    }
+
+    /// Appends a link flap: fail at `at`, recover at `recover_at`.
+    pub fn link_flap(mut self, a: NodeId, b: NodeId, at: SimTime, recover_at: SimTime) -> Self {
+        assert!(at <= recover_at, "recovery must not precede the failure");
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::FailLink(a, b),
+        });
+        self.events.push(FaultEvent {
+            at: recover_at,
+            action: FaultAction::RecoverLink(a, b),
+        });
+        self
+    }
+
+    /// Appends a node crash window: crash at `at`, revive at `recover_at`.
+    pub fn crash_window(mut self, n: NodeId, at: SimTime, recover_at: SimTime) -> Self {
+        assert!(at <= recover_at, "revival must not precede the crash");
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::CrashNode(n),
+        });
+        self.events.push(FaultEvent {
+            at: recover_at,
+            action: FaultAction::RecoverNode(n),
+        });
+        self
+    }
+
+    /// Appends a leader kill at `at` (no revival).
+    pub fn kill_leader_at(mut self, at: SimTime) -> Self {
+        self.events.push(FaultEvent {
+            at,
+            action: FaultAction::KillLeader,
+        });
+        self
+    }
+
+    /// Enables per-message chaos.
+    pub fn with_message_chaos(mut self, drop_prob: f64, extra_delay_max: Duration) -> Self {
+        self.message = MessageChaos {
+            drop_prob,
+            extra_delay_max,
+        };
+        self
+    }
+
+    /// Generates a seed-randomized schedule of link flaps and node crash
+    /// windows over `[0, horizon)`. `intensity` scales the expected fault
+    /// count (1.0 ≈ one flap per link and one crash per two nodes).
+    /// Deterministic: the schedule is a pure function of the arguments.
+    pub fn randomized(
+        seed: u64,
+        nodes: &[NodeId],
+        links: &[(NodeId, NodeId)],
+        horizon: SimTime,
+        intensity: f64,
+    ) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut events = Vec::new();
+        let horizon_us = horizon.as_micros().max(1);
+        // Outage length: between 2% and ~15% of the horizon, so recovery
+        // always lands inside the run.
+        let window = |rng: &mut SimRng| {
+            let start = rng.index((horizon_us * 4 / 5) as usize) as u64;
+            let len = horizon_us / 50 + rng.index((horizon_us / 8) as usize) as u64;
+            let end = (start + len).min(horizon_us.saturating_sub(1));
+            (SimTime::from_micros(start), SimTime::from_micros(end))
+        };
+        for &(a, b) in links {
+            if rng.bernoulli(intensity.min(1.0)) {
+                let (at, recover_at) = window(&mut rng);
+                events.push(FaultEvent {
+                    at,
+                    action: FaultAction::FailLink(a, b),
+                });
+                events.push(FaultEvent {
+                    at: recover_at,
+                    action: FaultAction::RecoverLink(a, b),
+                });
+            }
+        }
+        for &n in nodes {
+            if rng.bernoulli((intensity * 0.5).min(1.0)) {
+                let (at, recover_at) = window(&mut rng);
+                events.push(FaultEvent {
+                    at,
+                    action: FaultAction::CrashNode(n),
+                });
+                events.push(FaultEvent {
+                    at: recover_at,
+                    action: FaultAction::RecoverNode(n),
+                });
+            }
+        }
+        FaultPlan::scripted(seed, events)
+    }
+
+    /// Checks that every referenced node id is below `node_bound` and the
+    /// message probabilities are sane.
+    pub fn validate(&self, node_bound: u32) -> Result<(), String> {
+        let check = |n: NodeId| -> Result<(), String> {
+            if n.0 >= node_bound {
+                Err(format!(
+                    "fault plan references {n} but the deployment has {node_bound} controllers"
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        for ev in &self.events {
+            match &ev.action {
+                FaultAction::FailLink(a, b) | FaultAction::RecoverLink(a, b) => {
+                    check(*a)?;
+                    check(*b)?;
+                }
+                FaultAction::CrashNode(n) | FaultAction::RecoverNode(n) => check(*n)?,
+                FaultAction::Partition(group) | FaultAction::Heal(group) => {
+                    if group.is_empty() {
+                        return Err("partition group must not be empty".into());
+                    }
+                    for &n in group {
+                        check(n)?;
+                    }
+                }
+                FaultAction::KillLeader => {}
+            }
+        }
+        if !(0.0..=1.0).contains(&self.message.drop_prob) {
+            return Err(format!(
+                "message drop probability {} outside [0, 1]",
+                self.message.drop_prob
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the chaos layer decided for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Deliver, with this much chaos-injected extra delay.
+    Deliver {
+        /// Extra delivery delay on top of the route latency.
+        extra_delay: Duration,
+    },
+    /// Drop the message even though a route exists.
+    Drop,
+}
+
+/// Replays a [`FaultPlan`] against a [`Transport`].
+#[derive(Debug, Clone)]
+pub struct ChaosLayer {
+    /// Sorted schedule (stable by time, insertion order on ties).
+    schedule: Vec<FaultEvent>,
+    /// Index of the next unapplied event.
+    next: usize,
+    message: MessageChaos,
+    /// Private stream: never touches the experiment's master RNG.
+    rng: SimRng,
+    /// Open partitions and the exact links each one cut.
+    open_partitions: Vec<(Vec<NodeId>, Vec<LinkId>)>,
+    hub: ObsHandle,
+    ctr_faults: Counter,
+    ctr_msg_drops: Counter,
+    ctr_msg_delays: Counter,
+    hist_extra_delay: Hist,
+}
+
+impl ChaosLayer {
+    /// Builds the layer from a plan. The plan's events are stably sorted
+    /// by time; ties apply in insertion order.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut schedule = plan.events.clone();
+        schedule.sort_by_key(|ev| ev.at);
+        ChaosLayer {
+            schedule,
+            next: 0,
+            message: plan.message,
+            rng: SimRng::new(plan.seed),
+            open_partitions: Vec::new(),
+            hub: Obs::noop(),
+            ctr_faults: Counter::default(),
+            ctr_msg_drops: Counter::default(),
+            ctr_msg_delays: Counter::default(),
+            hist_extra_delay: Hist::default(),
+        }
+    }
+
+    /// Attaches observability: `acm.overlay.chaos.{faults,msg_drops,
+    /// msg_delays}` counters, `acm.overlay.chaos.extra_delay_us`
+    /// histogram, and one event per injected fault.
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.hub = obs.clone();
+        self.ctr_faults = obs.counter("acm.overlay.chaos.faults");
+        self.ctr_msg_drops = obs.counter("acm.overlay.chaos.msg_drops");
+        self.ctr_msg_delays = obs.counter("acm.overlay.chaos.msg_delays");
+        self.hist_extra_delay = obs.histogram("acm.overlay.chaos.extra_delay_us");
+    }
+
+    /// Scheduled faults not yet applied.
+    pub fn pending(&self) -> usize {
+        self.schedule.len() - self.next
+    }
+
+    /// Currently open (unhealed) partitions.
+    pub fn open_partitions(&self) -> usize {
+        self.open_partitions.len()
+    }
+
+    /// Applies every scheduled fault with `at <= now` to the transport.
+    /// `leader` resolves [`FaultAction::KillLeader`]. Returns `true` when
+    /// the topology changed (caller should re-elect).
+    pub fn apply_due(&mut self, now: SimTime, transport: &mut Transport, leader: NodeId) -> bool {
+        let mut changed = false;
+        while self.next < self.schedule.len() && self.schedule[self.next].at <= now {
+            let ev = self.schedule[self.next].clone();
+            self.next += 1;
+            self.apply(&ev, transport, leader);
+            changed = true;
+        }
+        changed
+    }
+
+    fn apply(&mut self, ev: &FaultEvent, transport: &mut Transport, leader: NodeId) {
+        let t_us = ev.at.as_micros();
+        self.ctr_faults.inc();
+        match &ev.action {
+            FaultAction::FailLink(a, b) => {
+                transport.fail_link(*a, *b);
+                self.emit(t_us, "chaos.link.fail", *a, Some(*b));
+            }
+            FaultAction::RecoverLink(a, b) => {
+                transport.recover_link(*a, *b);
+                self.emit(t_us, "chaos.link.recover", *a, Some(*b));
+            }
+            FaultAction::CrashNode(n) => {
+                transport.fail_node(*n);
+                self.emit(t_us, "chaos.node.crash", *n, None);
+            }
+            FaultAction::RecoverNode(n) => {
+                transport.recover_node(*n);
+                self.emit(t_us, "chaos.node.recover", *n, None);
+            }
+            FaultAction::KillLeader => {
+                transport.fail_node(leader);
+                self.emit(t_us, "chaos.leader.kill", leader, None);
+            }
+            FaultAction::Partition(group) => {
+                let cut = self.cut_links(transport, group);
+                for l in &cut {
+                    transport.fail_link(l.a, l.b);
+                }
+                self.hub.emit(
+                    t_us,
+                    "chaos.partition",
+                    vec![
+                        ("group_size", Value::U64(group.len() as u64)),
+                        ("cut_links", Value::U64(cut.len() as u64)),
+                        ("first", Value::U64(u64::from(group[0].0))),
+                    ],
+                );
+                self.open_partitions.push((group.clone(), cut));
+            }
+            FaultAction::Heal(group) => {
+                let mut key: Vec<NodeId> = group.clone();
+                key.sort_unstable();
+                let found = self.open_partitions.iter().position(|(g, _)| {
+                    let mut gs = g.clone();
+                    gs.sort_unstable();
+                    gs == key
+                });
+                if let Some(i) = found {
+                    let (_, cut) = self.open_partitions.remove(i);
+                    for l in &cut {
+                        transport.recover_link(l.a, l.b);
+                    }
+                    self.hub.emit(
+                        t_us,
+                        "chaos.heal",
+                        vec![
+                            ("group_size", Value::U64(group.len() as u64)),
+                            ("restored_links", Value::U64(cut.len() as u64)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
+    /// The usable links crossing the `group` boundary right now. Links
+    /// already down (by an earlier fault) are not included, so the
+    /// matching heal restores exactly what this partition cut.
+    fn cut_links(&self, transport: &Transport, group: &[NodeId]) -> Vec<LinkId> {
+        let g = transport.graph();
+        let mut cut = Vec::new();
+        for &x in group {
+            for (m, _) in g.usable_neighbors(x) {
+                if !group.contains(&m) {
+                    let id = LinkId::new(x, m);
+                    if !cut.contains(&id) {
+                        cut.push(id);
+                    }
+                }
+            }
+        }
+        cut
+    }
+
+    fn emit(&self, t_us: u64, kind: &'static str, n: NodeId, peer: Option<NodeId>) {
+        let mut fields = vec![("node", Value::U64(u64::from(n.0)))];
+        if let Some(p) = peer {
+            fields.push(("peer", Value::U64(u64::from(p.0))));
+        }
+        self.hub.emit(t_us, kind, fields);
+    }
+
+    /// Decides the fate of one routable control-plane message. Draws from
+    /// the private RNG only when message chaos is configured, so plans
+    /// without it stay draw-free. Self-sends are never touched.
+    pub fn message_fate(&mut self, now: SimTime, from: NodeId, to: NodeId) -> MessageFate {
+        if from == to || self.message.is_inert() {
+            return MessageFate::Deliver {
+                extra_delay: Duration::ZERO,
+            };
+        }
+        if self.message.drop_prob > 0.0 && self.rng.bernoulli(self.message.drop_prob) {
+            self.ctr_msg_drops.inc();
+            self.hub.emit(
+                now.as_micros(),
+                "chaos.msg.drop",
+                vec![
+                    ("from", Value::U64(u64::from(from.0))),
+                    ("to", Value::U64(u64::from(to.0))),
+                ],
+            );
+            return MessageFate::Drop;
+        }
+        let max_us = self.message.extra_delay_max.as_micros();
+        let extra = if max_us == 0 {
+            Duration::ZERO
+        } else {
+            let d = Duration::from_micros(self.rng.index(max_us as usize + 1) as u64);
+            if !d.is_zero() {
+                self.ctr_msg_delays.inc();
+                self.hist_extra_delay.record(d.as_micros());
+            }
+            d
+        };
+        MessageFate::Deliver { extra_delay: extra }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OverlayGraph;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn transport() -> Transport {
+        Transport::new(OverlayGraph::full_mesh(&[
+            (n(0), n(1), ms(30)),
+            (n(1), n(2), ms(20)),
+            (n(0), n(2), ms(100)),
+        ]))
+    }
+
+    fn all_pairs(t: &mut Transport) -> Vec<Option<Duration>> {
+        let mut out = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.push(t.latency(n(i), n(j)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn partition_cuts_and_heal_restores_exactly() {
+        let plan = FaultPlan::scripted(7, Vec::new()).partition_window(vec![n(2)], t(10), t(50));
+        let mut layer = ChaosLayer::new(&plan);
+        let mut tr = transport();
+        let before = all_pairs(&mut tr);
+
+        assert!(layer.apply_due(t(10), &mut tr, n(0)));
+        assert_eq!(layer.open_partitions(), 1);
+        assert_eq!(tr.latency(n(0), n(2)), None);
+        assert_eq!(tr.latency(n(2), n(1)), None);
+        assert_eq!(tr.latency(n(0), n(1)), Some(ms(30)), "intra side unhurt");
+
+        assert!(layer.apply_due(t(50), &mut tr, n(0)));
+        assert_eq!(layer.open_partitions(), 0);
+        assert_eq!(all_pairs(&mut tr), before, "heal restores everything");
+    }
+
+    #[test]
+    fn heal_does_not_recover_links_cut_by_other_faults() {
+        // Link 0-2 goes down independently before the partition; the heal
+        // must leave it down.
+        let mut plan =
+            FaultPlan::scripted(7, Vec::new()).partition_window(vec![n(2)], t(10), t(50));
+        plan.events.insert(
+            0,
+            FaultEvent {
+                at: t(5),
+                action: FaultAction::FailLink(n(0), n(2)),
+            },
+        );
+        let mut layer = ChaosLayer::new(&plan);
+        let mut tr = transport();
+        layer.apply_due(t(50), &mut tr, n(0));
+        assert_eq!(tr.latency(n(0), n(2)), Some(ms(50)), "via 1 only");
+        assert!(tr.graph().link_failed(n(0), n(2)));
+    }
+
+    #[test]
+    fn kill_leader_resolves_at_apply_time() {
+        let plan = FaultPlan::scripted(1, Vec::new()).kill_leader_at(t(30));
+        let mut layer = ChaosLayer::new(&plan);
+        let mut tr = transport();
+        assert!(!layer.apply_due(t(29), &mut tr, n(0)), "not due yet");
+        assert!(layer.apply_due(t(31), &mut tr, n(1)));
+        assert!(!tr.graph().is_alive(n(1)));
+        assert!(tr.graph().is_alive(n(0)));
+    }
+
+    #[test]
+    fn schedule_applies_in_time_order_and_once() {
+        let plan = FaultPlan::scripted(1, Vec::new())
+            .link_flap(n(0), n(1), t(20), t(40))
+            .crash_window(n(2), t(10), t(30));
+        let mut layer = ChaosLayer::new(&plan);
+        let mut tr = transport();
+        layer.apply_due(t(15), &mut tr, n(0));
+        assert!(!tr.graph().is_alive(n(2)));
+        assert!(tr.graph().link_usable(n(0), n(1)));
+        layer.apply_due(t(25), &mut tr, n(0));
+        assert!(!tr.graph().link_usable(n(0), n(1)));
+        layer.apply_due(t(100), &mut tr, n(0));
+        assert!(tr.graph().is_alive(n(2)));
+        assert!(tr.graph().link_usable(n(0), n(1)));
+        assert_eq!(layer.pending(), 0);
+        assert!(!layer.apply_due(SimTime::MAX, &mut tr, n(0)));
+    }
+
+    #[test]
+    fn randomized_plans_are_pure_functions_of_their_inputs() {
+        let nodes = [n(0), n(1), n(2)];
+        let links = [(n(0), n(1)), (n(1), n(2)), (n(0), n(2))];
+        let a = FaultPlan::randomized(42, &nodes, &links, t(3600), 1.0);
+        let b = FaultPlan::randomized(42, &nodes, &links, t(3600), 1.0);
+        assert_eq!(a, b);
+        let c = FaultPlan::randomized(43, &nodes, &links, t(3600), 1.0);
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(!a.events.is_empty());
+        for ev in &a.events {
+            assert!(ev.at < t(3600));
+        }
+        a.validate(3).expect("generated plan is in-bounds");
+    }
+
+    #[test]
+    fn message_chaos_is_deterministic_and_inert_when_unconfigured() {
+        let plan = FaultPlan::scripted(9, Vec::new()).with_message_chaos(0.3, ms(40));
+        let fates = |p: &FaultPlan| {
+            let mut layer = ChaosLayer::new(p);
+            (0..200)
+                .map(|i| layer.message_fate(t(i), n(0), n(1)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fates(&plan), fates(&plan), "same seed, same fates");
+        let drops = fates(&plan)
+            .iter()
+            .filter(|f| matches!(f, MessageFate::Drop))
+            .count();
+        assert!(drops > 20 && drops < 120, "~30% of 200, got {drops}");
+
+        // Unconfigured chaos delivers everything without touching the RNG.
+        let inert = FaultPlan::scripted(9, Vec::new());
+        let mut layer = ChaosLayer::new(&inert);
+        for i in 0..50 {
+            assert_eq!(
+                layer.message_fate(t(i), n(0), n(1)),
+                MessageFate::Deliver {
+                    extra_delay: Duration::ZERO
+                }
+            );
+        }
+        // Self-sends are never dropped even under heavy chaos.
+        let cruel = FaultPlan::scripted(9, Vec::new()).with_message_chaos(1.0, Duration::ZERO);
+        let mut layer = ChaosLayer::new(&cruel);
+        assert_eq!(
+            layer.message_fate(t(0), n(1), n(1)),
+            MessageFate::Deliver {
+                extra_delay: Duration::ZERO
+            }
+        );
+        assert_eq!(layer.message_fate(t(0), n(0), n(1)), MessageFate::Drop);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_bounds_and_bad_probabilities() {
+        let plan = FaultPlan::scripted(0, Vec::new()).crash_window(n(5), t(1), t(2));
+        assert!(plan.validate(3).is_err());
+        assert!(plan.validate(6).is_ok());
+        let bad = FaultPlan::scripted(0, Vec::new()).with_message_chaos(1.5, Duration::ZERO);
+        assert!(bad.validate(3).is_err());
+        let empty_group = FaultPlan::scripted(
+            0,
+            vec![FaultEvent {
+                at: t(0),
+                action: FaultAction::Partition(Vec::new()),
+            }],
+        );
+        assert!(empty_group.validate(3).is_err());
+    }
+
+    #[test]
+    fn faults_emit_obs_events() {
+        let obs = Obs::new(acm_obs::ObsConfig::default());
+        let plan = FaultPlan::scripted(3, Vec::new())
+            .partition_window(vec![n(2)], t(10), t(20))
+            .kill_leader_at(t(30));
+        let mut layer = ChaosLayer::new(&plan);
+        layer.set_obs(&obs);
+        let mut tr = transport();
+        layer.apply_due(t(40), &mut tr, n(0));
+        let kinds: Vec<&str> = obs.events_tail(10).into_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["chaos.partition", "chaos.heal", "chaos.leader.kill"]
+        );
+        assert_eq!(obs.counter("acm.overlay.chaos.faults").value(), 3);
+    }
+}

@@ -142,6 +142,18 @@ impl OverlayGraph {
         self.nodes().filter(|n| self.is_alive(*n)).collect()
     }
 
+    /// Raw latency of the direct link `x`–`y`, regardless of failure
+    /// state, or `None` when no such link exists.
+    pub fn link_latency(&self, x: NodeId, y: NodeId) -> Option<Duration> {
+        self.adj.get(&x).and_then(|nbrs| nbrs.get(&y)).copied()
+    }
+
+    /// True when the link exists and is explicitly marked failed (endpoint
+    /// failures do not count).
+    pub fn link_failed(&self, x: NodeId, y: NodeId) -> bool {
+        self.failed_links.contains(&LinkId::new(x, y))
+    }
+
     /// Builds a fully-connected topology from per-node pairwise latencies —
     /// the common shape for a handful of geographically-distributed VMCs.
     pub fn full_mesh(latencies: &[(NodeId, NodeId, Duration)]) -> Self {

@@ -19,18 +19,23 @@
 //! * [`heartbeat`] — the eventually-perfect failure detector that tells the
 //!   election when to re-run,
 //! * [`transport`] — latency-faithful message delivery for the control
-//!   loop, scheduled on the discrete-event simulator.
+//!   loop, scheduled on the discrete-event simulator,
+//! * [`fault`] — seeded deterministic fault injection (link flaps, node
+//!   crashes, partitions with scheduled heals, leader kills, per-message
+//!   drop/delay chaos) replayed against the transport.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod election;
+pub mod fault;
 pub mod graph;
 pub mod heartbeat;
 pub mod routing;
 pub mod transport;
 
 pub use election::{ElectionOutcome, Elector};
+pub use fault::{ChaosLayer, FaultAction, FaultEvent, FaultPlan, MessageChaos, MessageFate};
 pub use graph::{LinkId, NodeId, OverlayGraph};
 pub use heartbeat::{FailureDetector, HeartbeatConfig};
 pub use routing::{Route, Router};

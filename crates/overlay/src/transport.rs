@@ -9,6 +9,7 @@
 
 use crate::graph::{NodeId, OverlayGraph};
 use crate::routing::Router;
+use acm_obs::{Counter, Hist, ObsHandle, Timer};
 use acm_sim::sim::Simulator;
 use acm_sim::time::Duration;
 
@@ -19,6 +20,13 @@ pub struct Transport {
     router: Router,
     sent: u64,
     dropped: u64,
+    /// Instrumentation; inert until [`Transport::set_obs`].
+    route_timer: Timer,
+    hist_hops: Hist,
+    hist_hop_latency: Hist,
+    ctr_sent: Counter,
+    ctr_dropped: Counter,
+    ctr_unroutable: Counter,
 }
 
 impl Transport {
@@ -29,7 +37,28 @@ impl Transport {
             router: Router::new(),
             sent: 0,
             dropped: 0,
+            route_timer: Timer::default(),
+            hist_hops: Hist::default(),
+            hist_hop_latency: Hist::default(),
+            ctr_sent: Counter::default(),
+            ctr_dropped: Counter::default(),
+            ctr_unroutable: Counter::default(),
         }
+    }
+
+    /// Attaches observability: `acm.overlay.transport.route_ns` times every
+    /// route computation/cache hit, `…transport.hops` and
+    /// `…transport.hop_latency_us` record the shape of each delivered
+    /// route, and `…transport.{sent,dropped,unroutable}` export the send
+    /// counters (unroutable counts sends with no usable path — today the
+    /// only way a transport-level send can drop).
+    pub fn set_obs(&mut self, obs: &ObsHandle) {
+        self.route_timer = obs.timer("acm.overlay.transport.route_ns");
+        self.hist_hops = obs.histogram("acm.overlay.transport.hops");
+        self.hist_hop_latency = obs.histogram("acm.overlay.transport.hop_latency_us");
+        self.ctr_sent = obs.counter("acm.overlay.transport.sent");
+        self.ctr_dropped = obs.counter("acm.overlay.transport.dropped");
+        self.ctr_unroutable = obs.counter("acm.overlay.transport.unroutable");
     }
 
     /// Read access to the topology.
@@ -71,13 +100,26 @@ impl Transport {
     /// `None` and counts a drop. The caller schedules the delivery — this
     /// keeps `Transport` usable both inside and outside a simulator world.
     pub fn prepare_send(&mut self, from: NodeId, to: NodeId) -> Option<Duration> {
-        match self.latency(from, to) {
-            Some(d) => {
+        let route = {
+            let _span = self.route_timer.start();
+            self.router.route(&self.graph, from, to)
+        };
+        match route {
+            Some(r) => {
                 self.sent += 1;
-                Some(d)
+                self.ctr_sent.inc();
+                self.hist_hops.record(r.hops() as u64);
+                for hop in r.path.windows(2) {
+                    if let Some(d) = self.graph.link_latency(hop[0], hop[1]) {
+                        self.hist_hop_latency.record(d.as_micros());
+                    }
+                }
+                Some(r.latency)
             }
             None => {
                 self.dropped += 1;
+                self.ctr_dropped.inc();
+                self.ctr_unroutable.inc();
                 None
             }
         }
@@ -182,5 +224,32 @@ mod tests {
     fn self_send_is_immediate() {
         let mut t = transport();
         assert_eq!(t.prepare_send(n(1), n(1)), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn transport_metrics_mirror_counters_and_record_route_shape() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut t = transport();
+        t.set_obs(&obs);
+        // Best route 0-1-2: two hops of 30ms and 20ms.
+        assert!(t.prepare_send(n(0), n(2)).is_some());
+        t.fail_node(n(1));
+        t.fail_link(n(0), n(2));
+        assert!(t.prepare_send(n(0), n(2)).is_none());
+
+        assert_eq!(obs.counter("acm.overlay.transport.sent").value(), t.sent());
+        assert_eq!(
+            obs.counter("acm.overlay.transport.dropped").value(),
+            t.dropped()
+        );
+        assert_eq!(obs.counter("acm.overlay.transport.unroutable").value(), 1);
+        let hops = obs.histogram("acm.overlay.transport.hops").snapshot();
+        assert_eq!(hops.count, 1);
+        let hop_lat = obs
+            .histogram("acm.overlay.transport.hop_latency_us")
+            .snapshot();
+        assert_eq!(hop_lat.count, 2, "one sample per hop");
+        let route_ns = obs.histogram("acm.overlay.transport.route_ns").snapshot();
+        assert_eq!(route_ns.count, 2, "timed on hit and miss alike");
     }
 }

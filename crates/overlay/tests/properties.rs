@@ -3,8 +3,9 @@
 use acm_overlay::election::elect;
 use acm_overlay::graph::{NodeId, OverlayGraph};
 use acm_overlay::routing::dijkstra;
+use acm_overlay::{ChaosLayer, FaultPlan, Transport};
 use acm_sim::rng::SimRng;
-use acm_sim::time::Duration;
+use acm_sim::time::{Duration, SimTime};
 use proptest::prelude::*;
 
 /// Builds a random graph from a seed: `n` nodes, ring + random chords,
@@ -98,6 +99,44 @@ proptest! {
         let ab = dijkstra(&g, a, b).expect("connected").latency;
         let bc = dijkstra(&g, b, c).expect("connected").latency;
         prop_assert!(ac <= ab + bc);
+    }
+
+    #[test]
+    fn partition_heal_round_trip_restores_all_pair_latencies(
+        seed in 0u64..1_000,
+        n in 3u32..10,
+        k in 1u32..4,
+    ) {
+        // A chaos-layer partition of an arbitrary node group, later
+        // healed, must leave the transport exactly where it started:
+        // every pair's best-route latency is restored.
+        let k = k.min(n - 1);
+        let mut t = Transport::new(random_graph(seed, n, 0.0));
+        let before: Vec<Option<Duration>> = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .map(|(a, b)| t.latency(NodeId(a), NodeId(b)))
+            .collect();
+        let group: Vec<NodeId> = (0..k).map(NodeId).collect();
+        let plan = FaultPlan::scripted(seed, Vec::new()).partition_window(
+            group,
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
+        let mut chaos = ChaosLayer::new(&plan);
+        chaos.apply_due(SimTime::from_secs(10), &mut t, NodeId(0));
+        // While partitioned, no route crosses the cut.
+        for a in 0..k {
+            for b in k..n {
+                prop_assert_eq!(t.latency(NodeId(a), NodeId(b)), None);
+            }
+        }
+        chaos.apply_due(SimTime::from_secs(20), &mut t, NodeId(0));
+        prop_assert_eq!(chaos.open_partitions(), 0);
+        let after: Vec<Option<Duration>> = (0..n)
+            .flat_map(|a| (0..n).map(move |b| (a, b)))
+            .map(|(a, b)| t.latency(NodeId(a), NodeId(b)))
+            .collect();
+        prop_assert_eq!(before, after);
     }
 
     #[test]

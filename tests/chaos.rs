@@ -1,0 +1,185 @@
+//! Integration: the deterministic chaos layer and the leader's graceful
+//! degradation, exercised through the whole stack — leader kills trigger
+//! re-election, fault plans replay byte-identically at any thread width,
+//! and re-admission hysteresis keeps the plan from oscillating.
+
+use acm::core::config::{ExperimentConfig, PredictorChoice};
+use acm::core::framework::{run_experiment, run_experiment_with_obs};
+use acm::core::policy::PolicyKind;
+use acm::core::DegradationConfig;
+use acm::obs::{Obs, ObsConfig};
+use acm::overlay::{FaultPlan, NodeId};
+use acm::sim::{Duration, SimTime};
+use proptest::prelude::*;
+
+fn oracle(mut cfg: ExperimentConfig) -> ExperimentConfig {
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg
+}
+
+#[test]
+fn leader_kill_triggers_reelection_and_quarantines_the_dead_region() {
+    let mut cfg = oracle(ExperimentConfig::three_region_fig4(
+        PolicyKind::AvailableResources,
+        2024,
+    ));
+    cfg.eras = 40;
+    // Kill the initial leader (node 0) at era 10 and never recover it.
+    cfg.fault_plan =
+        Some(FaultPlan::scripted(11, Vec::new()).kill_leader_at(SimTime::from_secs(300)));
+    cfg.degradation = DegradationConfig::enabled();
+    let obs = Obs::new(ObsConfig::default());
+    let tel = run_experiment_with_obs(&cfg, obs.clone());
+    assert_eq!(tel.eras(), 40, "the loop must survive losing its leader");
+
+    let events = obs.events_tail(usize::MAX);
+    assert!(
+        events.iter().any(|e| e.kind == "chaos.leader.kill"),
+        "the kill must be logged"
+    );
+    // A new leader takes over in the same era the kill lands.
+    let change = events
+        .iter()
+        .find(|e| e.kind == "leader.change")
+        .expect("re-election after the leader kill");
+    match change
+        .fields
+        .iter()
+        .find(|(k, _)| *k == "leader")
+        .map(|(_, v)| v)
+    {
+        Some(acm::obs::Value::U64(id)) => assert_ne!(*id, 0, "node 0 is dead; it cannot lead"),
+        other => panic!("leader.change carries the new leader id, got {other:?}"),
+    }
+    // The dead region is quarantined and its flow goes to the survivors.
+    assert!(
+        events.iter().any(|e| e.kind == "region.quarantine"),
+        "dead region must be quarantined"
+    );
+    let tail: Vec<f64> = tel.fraction(0).points()[30..]
+        .iter()
+        .map(|p| p.value)
+        .collect();
+    assert!(
+        tail.iter().all(|v| *v == 0.0),
+        "dead region still receives flow: {tail:?}"
+    );
+    let live_sum: f64 = (1..3).map(|j| tel.fraction(j).points()[35].value).sum();
+    assert!(
+        (live_sum - 1.0).abs() < 1e-9,
+        "survivors must absorb the whole flow, got {live_sum}"
+    );
+}
+
+#[test]
+fn readmission_hysteresis_prevents_plan_oscillation() {
+    let mut cfg = oracle(ExperimentConfig::two_region_fig3(
+        PolicyKind::AvailableResources,
+        77,
+    ));
+    cfg.eras = 45;
+    // Partition region 1 for ten eras; on top, drop 5% of control
+    // messages so the report-retry path is exercised the whole run.
+    cfg.fault_plan = Some(
+        FaultPlan::scripted(9, Vec::new())
+            .partition_window(
+                vec![NodeId(1)],
+                SimTime::from_secs(300),
+                SimTime::from_secs(600),
+            )
+            .with_message_chaos(0.05, Duration::from_millis(40)),
+    );
+    cfg.degradation = DegradationConfig::enabled();
+    let obs = Obs::new(ObsConfig::default());
+    let tel = run_experiment_with_obs(&cfg, obs.clone());
+
+    let events = obs.events_tail(usize::MAX);
+    let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
+    // One outage, one quarantine, one re-admission — message chaos plus
+    // hysteresis must not produce extra health transitions.
+    assert_eq!(
+        count("region.quarantine"),
+        1,
+        "no oscillation into quarantine"
+    );
+    assert_eq!(count("region.readmit"), 1, "exactly one re-admission");
+    // Once re-admitted, the region keeps its flow: the fraction series
+    // never collapses back to zero after its post-heal recovery.
+    let f1: Vec<f64> = tel.fraction(1).points().iter().map(|p| p.value).collect();
+    let readmit = f1[21..]
+        .iter()
+        .position(|v| *v > 0.0)
+        .map(|i| i + 21)
+        .expect("region 1 regains flow after the heal");
+    assert!(
+        f1[readmit..].iter().all(|v| *v > 0.0),
+        "flow flapped after re-admission: {:?}",
+        &f1[readmit..]
+    );
+}
+
+proptest! {
+    /// The determinism contract of the chaos layer: a fixed plan and seed
+    /// replays byte-identically — telemetry and the decision log — no
+    /// matter how many worker threads execute the run.
+    #[test]
+    fn fault_plans_replay_byte_identically_across_thread_widths(seed in 0u64..24) {
+        let run = || {
+            let mut cfg = oracle(ExperimentConfig::two_region_fig3(
+                PolicyKind::AvailableResources,
+                900 + seed,
+            ));
+            cfg.eras = 8;
+            cfg.fault_plan = Some(
+                FaultPlan::randomized(
+                    seed,
+                    &[NodeId(0), NodeId(1)],
+                    &[(NodeId(0), NodeId(1))],
+                    SimTime::from_secs(240),
+                    1.0,
+                )
+                .with_message_chaos(0.10, Duration::from_millis(25)),
+            );
+            cfg.degradation = DegradationConfig::enabled();
+            let obs = Obs::new(ObsConfig::default());
+            let tel = run_experiment_with_obs(&cfg, obs.clone());
+            (tel.to_csv(), obs.events_jsonl())
+        };
+        let before = acm::exec::current_threads();
+        acm::exec::configure_threads(1);
+        let sequential = run();
+        acm::exec::configure_threads(4);
+        let parallel = run();
+        acm::exec::configure_threads(before);
+        prop_assert_eq!(sequential.0, parallel.0, "telemetry diverged");
+        prop_assert_eq!(sequential.1, parallel.1, "decision log diverged");
+    }
+}
+
+#[test]
+fn scripted_crash_window_recovers_end_to_end() {
+    // A slave region crashes for eight eras and comes back; with
+    // degradation the run re-converges to a balanced plan.
+    let mut cfg = oracle(ExperimentConfig::two_region_fig3(
+        PolicyKind::AvailableResources,
+        501,
+    ));
+    cfg.eras = 60;
+    cfg.fault_plan = Some(FaultPlan::scripted(3, Vec::new()).crash_window(
+        NodeId(1),
+        SimTime::from_secs(360),
+        SimTime::from_secs(600),
+    ));
+    cfg.degradation = DegradationConfig::enabled();
+    let tel = run_experiment(&cfg);
+    assert_eq!(tel.eras(), 60);
+    assert!(tel.total_completed() > 50_000);
+    // The tail of the run is balanced again (equal-RMTTF band).
+    assert!(
+        tel.rmttf_spread(10) < 1.35,
+        "spread {}",
+        tel.rmttf_spread(10)
+    );
+    let f1_tail = tel.fraction(1).points()[55].value;
+    assert!(f1_tail > 0.0, "healed region ends the run with zero flow");
+}
