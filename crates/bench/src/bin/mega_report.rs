@@ -1,0 +1,445 @@
+//! Mega-scale sharded-world report.
+//!
+//! Exercises the era-synchronized shard runtime at two layers and writes
+//! the numbers to `BENCH_PR6.json` at the repository root:
+//!
+//! * **Control plane** — a deployment of hundreds of regions (the three
+//!   paper flavors cycled, star overlay, chaos plan + graceful
+//!   degradation) carrying over a million closed-loop emulated browsers,
+//!   driven era by era through the sharded MONITOR phase. Reports total
+//!   browsers, completed requests, era wall-time p50/p99, and verifies
+//!   the run replays byte-identically (telemetry CSV + decision log,
+//!   chaos included) at 1 and 4 worker threads.
+//! * **Data plane** — per-shard discrete-event worlds fed by open-loop
+//!   arrival generators ([`OpenLoopArrivals`], deterministic pre-split
+//!   streams) with per-shard chaos lenses deciding each request's fate.
+//!   Reports aggregate events/s at 1/2/4 threads, the 4-thread speedup,
+//!   the event-queue arena-reuse counter, and checks the per-shard
+//!   outcome digests are identical at every width.
+//!
+//! ```text
+//! cargo run --release -p acm-bench --bin mega_report [-- --smoke]
+//! ```
+//!
+//! `--smoke` shrinks both scenarios to CI size (bounded runtime) and
+//! enforces the gates: byte identity at both layers, an aggregate
+//! events/s floor, and (on machines with >= 4 cores) a >= 2x data-plane
+//! speedup at 4 threads over 1. The full run enforces only the byte
+//! identity gates — throughput numbers vary with the machine.
+
+use acm_core::config::{ExperimentConfig, PredictorChoice, RegionSpec};
+use acm_core::policy::PolicyKind;
+use acm_core::{ControlLoop, DegradationConfig};
+use acm_overlay::{ChaosLayer, FaultPlan, MessageFate, NodeId};
+use acm_pcam::{RttfSource, Vmc};
+use acm_sim::rng::SimRng;
+use acm_sim::shard::{ShardLayout, ShardedWorld};
+use acm_sim::time::{Duration, SimTime};
+use acm_workload::{ClientSchedule, OpenLoopArrivals, RateProfile, THINK_TIME_MEAN_S};
+use std::time::Instant;
+
+/// Era length of the control-plane deployment (seconds).
+const ERA_S: u64 = 30;
+/// Smoke-mode floor on aggregate data-plane throughput (events/s).
+const SMOKE_EVENTS_PER_S_FLOOR: f64 = 50_000.0;
+/// Smoke-mode floor on the 4-thread data-plane speedup (>= 4 cores only).
+const SMOKE_SPEEDUP_FLOOR: f64 = 2.0;
+
+struct Report {
+    entries: Vec<(String, f64)>,
+    failures: Vec<String>,
+}
+
+impl Report {
+    fn push(&mut self, name: &str, value: f64) {
+        println!("{name:<52} {value:>14.3}");
+        self.entries.push((name.to_string(), value));
+    }
+
+    fn gate(&mut self, ok: bool, what: String) {
+        if !ok {
+            println!("  GATE VIOLATION: {what}");
+            self.failures.push(what);
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut o = acm_obs::json::JsonObject::new();
+        for (name, value) in &self.entries {
+            o.field_f64(name, (value * 1000.0).round() / 1000.0);
+        }
+        o.field_u64("gate_violations", self.failures.len() as u64);
+        let mut s = o.finish();
+        s.push('\n');
+        s
+    }
+}
+
+/// Scale knobs for the two scenarios.
+struct Scale {
+    regions: usize,
+    clients_per_region: u32,
+    control_eras: usize,
+    data_shards: usize,
+    data_browsers: u64,
+    data_eras: u64,
+    data_era_s: u64,
+}
+
+impl Scale {
+    fn full() -> Self {
+        Scale {
+            regions: 200,
+            clients_per_region: 5_120, // 200 x 5120 = 1,024,000 browsers
+            control_eras: 15,
+            data_shards: 16,
+            data_browsers: 1 << 20, // 1,048,576 emulated browsers
+            data_eras: 3,
+            data_era_s: 10,
+        }
+    }
+
+    fn smoke() -> Self {
+        Scale {
+            regions: 24,
+            clients_per_region: 512,
+            control_eras: 8,
+            data_shards: 8,
+            data_browsers: 1 << 18,
+            data_eras: 2,
+            data_era_s: 10,
+        }
+    }
+}
+
+/// A many-region deployment: the three paper region flavors cycled with
+/// unique names, a star overlay rooted at region 0, a chaos plan that
+/// partitions the last region for the middle third of the run plus 2 %
+/// message drop / up-to-10 ms extra delay, and graceful degradation on.
+fn mega_config(scale: &Scale) -> ExperimentConfig {
+    let n = scale.regions;
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2026);
+    cfg.name = format!("mega-{n}r");
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = scale.control_eras;
+    cfg.regions = (0..n)
+        .map(|i| {
+            let mut region = match i % 3 {
+                0 => ExperimentConfig::region1_ireland(),
+                1 => ExperimentConfig::region2_frankfurt(),
+                _ => ExperimentConfig::region3_munich(),
+            };
+            region.name = format!("r{i:03}-{}", region.name);
+            // The paper pools serve ~512 browsers per region; provision
+            // linearly with the population so the deployment stays in the
+            // serveable regime at any scale.
+            let factor = (scale.clients_per_region as usize).div_ceil(512);
+            region.total_vms *= factor;
+            region.target_active *= factor;
+            RegionSpec {
+                region,
+                clients: ClientSchedule::Constant(scale.clients_per_region),
+            }
+        })
+        .collect();
+    cfg.latencies = (1..n)
+        .map(|j| (0usize, j, Duration::from_millis(8 + (j as u64 * 7) % 40)))
+        .collect();
+    let fail_at = SimTime::from_secs(scale.control_eras as u64 / 3 * ERA_S);
+    let heal_at = SimTime::from_secs(scale.control_eras as u64 * 2 / 3 * ERA_S);
+    cfg.fault_plan = Some(
+        FaultPlan::scripted(11, Vec::new())
+            .partition_window(vec![ExperimentConfig::node_of(n - 1)], fail_at, heal_at)
+            .with_message_chaos(0.02, Duration::from_millis(10)),
+    );
+    cfg.degradation = DegradationConfig::enabled();
+    cfg
+}
+
+/// Builds the loop with oracle predictors (no training phase) and runs
+/// every era, timing each. Returns the telemetry CSV, the decision log,
+/// total completed requests, and the per-era wall times.
+fn run_control(cfg: &ExperimentConfig) -> (String, String, u64, Vec<f64>) {
+    let mut rng = SimRng::new(cfg.seed);
+    let vmcs: Vec<Vmc> = cfg
+        .regions
+        .iter()
+        .map(|spec| Vmc::new(spec.region.clone(), RttfSource::Oracle, rng.split()))
+        .collect();
+    let mut cl = ControlLoop::new(cfg, vmcs, rng);
+    let mut era_wall_s = Vec::with_capacity(cfg.eras);
+    for _ in 0..cfg.eras {
+        let t = Instant::now();
+        cl.step_era();
+        era_wall_s.push(t.elapsed().as_secs_f64());
+    }
+    let log = cl.obs().events_jsonl();
+    let completed = cl.telemetry().total_completed();
+    (cl.into_telemetry().to_csv(), log, completed, era_wall_s)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn control_plane_scenario(report: &mut Report, scale: &Scale) {
+    let cfg = mega_config(scale);
+    let browsers = scale.regions as u64 * u64::from(scale.clients_per_region);
+    report.push("control_regions", scale.regions as f64);
+    report.push("control_browsers", browsers as f64);
+    report.push("control_eras", scale.control_eras as f64);
+
+    let before = acm_exec::current_threads();
+    acm_exec::configure_threads(1);
+    let (csv_1t, log_1t, completed, _) = run_control(&cfg);
+    acm_exec::configure_threads(4);
+    let (csv_4t, log_4t, _, mut era_wall_s) = run_control(&cfg);
+    acm_exec::configure_threads(before);
+
+    report.push("control_completed_requests", completed as f64);
+    era_wall_s.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    report.push(
+        "control_era_wall_p50_ms",
+        percentile(&era_wall_s, 0.50) * 1e3,
+    );
+    report.push(
+        "control_era_wall_p99_ms",
+        percentile(&era_wall_s, 0.99) * 1e3,
+    );
+    report.gate(
+        completed > 0,
+        "control: the deployment completed zero requests".to_string(),
+    );
+
+    let identical = (csv_1t, log_1t) == (csv_4t, log_4t);
+    report.push("control_byte_identity_1t_vs_4t_ok", f64::from(identical));
+    report.gate(
+        identical,
+        "control: telemetry/decision log diverge between 1 and 4 threads".to_string(),
+    );
+}
+
+/// One shard's slice of the data plane: its arrival stream, chaos lens,
+/// service-time RNG and outcome counters.
+struct DataWorld {
+    arrivals: OpenLoopArrivals,
+    chaos: ChaosLayer,
+    service: SimRng,
+    buf: Vec<SimTime>,
+    accepted: u64,
+    dropped: u64,
+    completed: u64,
+    chaos_delay_us: u64,
+}
+
+struct DataOutcome {
+    executed: u64,
+    wall_s: f64,
+    arena_reuse: u64,
+    /// Per-shard `(accepted, dropped, completed, chaos_delay_us)`, in
+    /// shard-index order — the width-independence digest.
+    digest: Vec<(u64, u64, u64, u64)>,
+}
+
+/// Runs the open-loop data plane once on the current pool width.
+fn run_data(scale: &Scale) -> DataOutcome {
+    let shards = scale.data_shards;
+    // Closed-loop equivalence: N browsers with 7 s mean think time offer
+    // N / Z arrivals per second; each shard carries an equal slice as a
+    // flash-crowd profile swinging around that mean.
+    let rate = scale.data_browsers as f64 / THINK_TIME_MEAN_S / shards as f64;
+    let profile = RateProfile::Burst {
+        base: rate * 0.7,
+        peak: rate * 1.7,
+        period: Duration::from_secs(7),
+        burst_len: Duration::from_secs(2),
+    };
+    let mut rng = SimRng::new(77);
+    let mut arrivals = OpenLoopArrivals::pre_split(&profile, shards, &mut rng);
+    let plan =
+        FaultPlan::scripted(13, Vec::new()).with_message_chaos(0.02, Duration::from_millis(5));
+    let mut lenses = ChaosLayer::new(&plan).pre_split(shards);
+    let mut services: Vec<SimRng> = (0..shards).map(|_| rng.split()).collect();
+
+    let mut worlds: Vec<Option<DataWorld>> = (0..shards)
+        .map(|_| {
+            Some(DataWorld {
+                arrivals: arrivals.remove(0),
+                chaos: lenses.remove(0),
+                service: services.remove(0),
+                buf: Vec::new(),
+                accepted: 0,
+                dropped: 0,
+                completed: 0,
+                chaos_delay_us: 0,
+            })
+        })
+        .collect();
+    let mut world = ShardedWorld::new(ShardLayout::balanced(shards, shards), &mut rng, |s, _| {
+        worlds[s].take().expect("one world per shard")
+    });
+    let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+    for shard in world.shards_mut() {
+        shard.sim.set_obs(&obs);
+    }
+
+    let start = Instant::now();
+    for era in 0..scale.data_eras {
+        let era_start = SimTime::from_secs(era * scale.data_era_s);
+        let era_end = SimTime::from_secs((era + 1) * scale.data_era_s);
+        world.step_era(|shard| {
+            let from = NodeId(shard.index as u32);
+            let to = NodeId(shard.index as u32 + 1_000_000);
+            let mut buf = std::mem::take(&mut shard.sim.world.buf);
+            shard
+                .sim
+                .world
+                .arrivals
+                .fill_window(era_start, era_end, &mut buf);
+            for &at in &buf {
+                shard.sim.schedule_at(at, move |s| {
+                    s.world.accepted += 1;
+                    match s.world.chaos.message_fate(s.now(), from, to) {
+                        MessageFate::Drop => s.world.dropped += 1,
+                        MessageFate::Deliver { extra_delay } => {
+                            s.world.chaos_delay_us += extra_delay.as_micros();
+                            let svc = Duration::from_secs_f64(s.world.service.exponential(0.2));
+                            let done = s.now() + svc + extra_delay;
+                            s.schedule_at(done, |s| s.world.completed += 1);
+                        }
+                    }
+                });
+            }
+            shard.sim.world.buf = buf;
+            shard.sim.run_until(era_end);
+        });
+    }
+    // Drain stragglers (completions scheduled past the last era end).
+    let horizon = SimTime::from_secs(scale.data_eras * scale.data_era_s) + Duration::from_secs(30);
+    world.step_era(|shard| {
+        shard.sim.run_until(horizon);
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    for shard in world.shards_mut() {
+        shard.sim.flush_obs();
+    }
+    DataOutcome {
+        executed: world.total_executed(),
+        wall_s,
+        arena_reuse: obs.counter("acm.sim.queue.arena_reuse").value(),
+        digest: world
+            .shards()
+            .iter()
+            .map(|s| {
+                let w = &s.sim.world;
+                (w.accepted, w.dropped, w.completed, w.chaos_delay_us)
+            })
+            .collect(),
+    }
+}
+
+fn data_plane_scenario(report: &mut Report, scale: &Scale, smoke: bool) {
+    report.push("data_shards", scale.data_shards as f64);
+    report.push("data_browsers", scale.data_browsers as f64);
+    report.push(
+        "data_sim_horizon_s",
+        (scale.data_eras * scale.data_era_s) as f64,
+    );
+
+    let before = acm_exec::current_threads();
+    let mut wall_1t = f64::NAN;
+    let mut eps_4t = f64::NAN;
+    let mut wall_4t = f64::NAN;
+    let mut digest_1t = Vec::new();
+    let mut digest_4t = Vec::new();
+    for threads in [1usize, 2, 4] {
+        acm_exec::configure_threads(threads);
+        let out = run_data(scale);
+        acm_exec::configure_threads(before);
+        let eps = out.executed as f64 / out.wall_s;
+        report.push(&format!("data_events_{threads}t"), out.executed as f64);
+        report.push(&format!("data_events_per_s_{threads}t"), eps);
+        match threads {
+            1 => {
+                wall_1t = out.wall_s;
+                digest_1t = out.digest;
+                report.push("data_arena_reuse_slots", out.arena_reuse as f64);
+                report.gate(
+                    out.arena_reuse > 0,
+                    "data: event-queue arenas were never reused across eras".to_string(),
+                );
+            }
+            4 => {
+                wall_4t = out.wall_s;
+                eps_4t = eps;
+                digest_4t = out.digest;
+            }
+            _ => {}
+        }
+    }
+
+    let identical = digest_1t == digest_4t;
+    report.push("data_digest_identity_1t_vs_4t_ok", f64::from(identical));
+    report.gate(
+        identical,
+        "data: per-shard outcomes diverge between 1 and 4 threads".to_string(),
+    );
+
+    let speedup = wall_1t / wall_4t;
+    report.push("data_speedup_4t", speedup);
+    if smoke {
+        report.gate(
+            eps_4t >= SMOKE_EVENTS_PER_S_FLOOR,
+            format!("data: aggregate {eps_4t:.0} events/s below the {SMOKE_EVENTS_PER_S_FLOOR:.0} floor"),
+        );
+        let avail = acm_exec::available_threads();
+        if avail >= 4 {
+            report.gate(
+                speedup >= SMOKE_SPEEDUP_FLOOR,
+                format!("data: 4-thread speedup {speedup:.2} below {SMOKE_SPEEDUP_FLOOR}"),
+            );
+        } else {
+            println!("  (speedup gate skipped: {avail} cores available, need 4)");
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let scale = if smoke { Scale::smoke() } else { Scale::full() };
+    let mut report = Report {
+        entries: Vec::new(),
+        failures: Vec::new(),
+    };
+
+    println!(
+        "mega-scale sharded-world report ({} mode, {} cores)\n",
+        if smoke { "smoke" } else { "full" },
+        acm_exec::available_threads()
+    );
+    println!("control plane: sharded MONITOR at deployment scale");
+    control_plane_scenario(&mut report, &scale);
+    println!("\ndata plane: open-loop arrivals on sharded event queues");
+    data_plane_scenario(&mut report, &scale, smoke);
+
+    let json = report.to_json();
+    match std::fs::write("BENCH_PR6.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_PR6.json"),
+        Err(e) => eprintln!("\nwarning: cannot write BENCH_PR6.json: {e}"),
+    }
+
+    if report.failures.is_empty() {
+        println!("all gates hold");
+    } else {
+        eprintln!("\n{} gate violation(s):", report.failures.len());
+        for f in &report.failures {
+            eprintln!("  FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

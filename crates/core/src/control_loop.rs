@@ -26,15 +26,23 @@ use crate::policy::{uniform_fractions, LoadBalancingPolicy};
 use crate::scenario::{Scenario, ScenarioAction};
 use crate::telemetry::{ExperimentTelemetry, RegionEraRecord};
 use acm_exec::PoolStatsSnapshot;
-use acm_obs::{Counter, Gauge, Hist, Obs, ObsHandle, Timer, Value};
+use acm_obs::{Counter, Gauge, Hist, Obs, ObsConfig, ObsHandle, Timer, Value};
 use acm_overlay::{
     ChaosLayer, ElectionOutcome, Elector, FailureDetector, MessageFate, NodeId, OverlayGraph,
     Transport,
 };
-use acm_pcam::Vmc;
+use acm_pcam::{RegionEraReport, Vmc};
 use acm_sim::rng::SimRng;
+use acm_sim::shard::ShardLayout;
 use acm_sim::time::{Duration, SimTime};
 use acm_workload::RegionWorkload;
+
+/// Upper bound on MONITOR shards. The shard count is
+/// `min(regions, MONITOR_SHARDS_MAX)` — a pure function of the
+/// configuration, never of the thread width, so the shard partition (and
+/// with it every RNG stream and merge order) is identical at any
+/// `ACM_THREADS`.
+const MONITOR_SHARDS_MAX: usize = 32;
 
 /// What happened to one control-plane message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +94,8 @@ pub struct ControlLoop {
     rng: SimRng,
     telemetry: ExperimentTelemetry,
     obs: ObsHandle,
+    /// Blueprint for the per-shard child hubs of the sharded MONITOR.
+    obs_cfg: ObsConfig,
     era_timer: Timer,
     monitor_timer: Timer,
     analyze_timer: Timer,
@@ -195,6 +205,7 @@ impl ControlLoop {
             scenario: cfg.scenario.clone(),
             rng: rng.split(),
             telemetry: ExperimentTelemetry::new(names),
+            obs_cfg: cfg.obs,
             vmcs,
             era_timer: obs.timer("acm.core.control_loop.era_ns"),
             monitor_timer: obs.timer("acm.core.control_loop.monitor_ns"),
@@ -529,6 +540,92 @@ impl ControlLoop {
         target
     }
 
+    /// Advances every region through one era, sharded over the exec pool.
+    ///
+    /// Regions are partitioned into contiguous shards (a pure function of
+    /// the region count — see [`MONITOR_SHARDS_MAX`]). Within the era each
+    /// shard runs its regions' [`Vmc::process_era`] independently: every
+    /// VMC owns its RNG, and when observability is on each shard records
+    /// into a fresh child hub so no instrument is shared across threads.
+    /// At the barrier the child hubs are folded into the parent in
+    /// shard-index order (= region order for contiguous shards), which
+    /// makes event sequence numbers, region-qualified gauges and histogram
+    /// counts identical to the sequential sweep at any thread width. A
+    /// disabled parent skips the child hubs entirely, so un-observed runs
+    /// stay allocation-free (observability never perturbs the run).
+    fn process_regions_sharded(
+        &mut self,
+        lambdas: &[f64],
+        t_start: SimTime,
+    ) -> Vec<RegionEraReport> {
+        let n = self.vmcs.len();
+        let layout = ShardLayout::balanced(n, n.min(MONITOR_SHARDS_MAX));
+        let era = self.era;
+        let obs_on = self.obs.enabled();
+        let child_cfg = ObsConfig {
+            enabled: true,
+            // Ample per-era headroom: a child must never evict within one
+            // era, or the parent would see a different event stream than
+            // the sequential sweep produces.
+            event_capacity: self.obs_cfg.event_capacity.max(4096),
+        };
+
+        struct MonitorShard {
+            vmcs: Vec<Vmc>,
+            lambdas: Vec<f64>,
+            child: Option<ObsHandle>,
+            reports: Vec<RegionEraReport>,
+        }
+
+        let mut shards: Vec<MonitorShard> = Vec::with_capacity(layout.shards());
+        let mut vmc_iter = std::mem::take(&mut self.vmcs).into_iter();
+        for s in 0..layout.shards() {
+            let range = layout.range(s);
+            let mut bucket: Vec<Vmc> = vmc_iter.by_ref().take(range.len()).collect();
+            let child = if obs_on {
+                let child = Obs::new(child_cfg);
+                for vmc in &mut bucket {
+                    vmc.set_obs(child.clone());
+                }
+                Some(child)
+            } else {
+                None
+            };
+            shards.push(MonitorShard {
+                vmcs: bucket,
+                lambdas: lambdas[range].to_vec(),
+                child,
+                reports: Vec::new(),
+            });
+        }
+
+        acm_exec::for_each_mut(&mut shards, |_, shard| {
+            shard.reports.reserve(shard.vmcs.len());
+            for (vmc, &lambda) in shard.vmcs.iter_mut().zip(&shard.lambdas) {
+                shard.reports.push(vmc.process_era(t_start, era, lambda));
+            }
+        });
+
+        // Era barrier: stitch VMCs and reports back together and fold the
+        // child hubs into the parent, all in shard-index order.
+        let mut reports = Vec::with_capacity(n);
+        for mut shard in shards {
+            if let Some(child) = shard.child {
+                self.obs.merge_from(&child);
+            }
+            for mut vmc in shard.vmcs {
+                if obs_on {
+                    // Re-home the VMC so post-barrier phases (autoscaling,
+                    // scenario actions) record straight into the parent.
+                    vmc.set_obs(self.obs.clone());
+                }
+                self.vmcs.push(vmc);
+            }
+            reports.append(&mut shard.reports);
+        }
+        reports
+    }
+
     /// Runs one full era of the closed loop.
     // Index loops here deliberately walk several region-aligned vectors in
     // lock-step; iterator zips would obscure the alignment.
@@ -560,11 +657,14 @@ impl ControlLoop {
         let remote = plan.remote_fraction();
 
         // ----- region era processing (the "application data" plane) -------
-        let mut reports = Vec::with_capacity(n);
-        for j in 0..n {
-            let lambda_proc = plan.realised_share(j) * lambda_total;
-            reports.push(self.vmcs[j].process_era(t_start, self.era, lambda_proc));
-        }
+        // Sharded: contiguous region buckets advance concurrently on the
+        // exec pool, each into a private child obs hub; the era barrier
+        // merges everything back in shard-index order, so the event log
+        // and metrics are byte-identical at any thread width.
+        let lambdas: Vec<f64> = (0..n)
+            .map(|j| plan.realised_share(j) * lambda_total)
+            .collect();
+        let reports = self.process_regions_sharded(&lambdas, t_start);
         drop(monitor_span);
 
         // ----- ANALYZE: slaves report lastRMTTF to the leader --------------

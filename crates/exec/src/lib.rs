@@ -682,6 +682,62 @@ impl ThreadPool {
         }
     }
 
+    /// Applies `f(i, &mut items[i])` to every slot, potentially in
+    /// parallel, and returns once all slots are done. Each index is handed
+    /// to exactly one task, so the in-place mutation never aliases. With a
+    /// single participant (or ≤ 1 items) the slots are visited strictly in
+    /// index order — the exact sequential path, no threads, no atomics.
+    ///
+    /// This is the era-scoped shard driver: one long-lived shard per slot,
+    /// advanced in place behind an era barrier. Panics in `f` propagate
+    /// after every spawned task has quiesced (the [`scope`] discipline).
+    ///
+    /// [`scope`]: ThreadPool::scope
+    pub fn for_each_mut<T, F>(&self, items: &mut [T], f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        struct SendPtr<T>(*mut T);
+        // SAFETY: the pointer is only dereferenced at distinct indices,
+        // one task each, all inside the scope barrier.
+        unsafe impl<T: Send> Send for SendPtr<T> {}
+        impl<T> Clone for SendPtr<T> {
+            fn clone(&self) -> Self {
+                *self
+            }
+        }
+        impl<T> Copy for SendPtr<T> {}
+        impl<T> SendPtr<T> {
+            // Method (not field) access, so closures capture the Send
+            // wrapper rather than the bare `*mut T` inside it.
+            fn get(self) -> *mut T {
+                self.0
+            }
+        }
+
+        let base = SendPtr(items.as_mut_ptr());
+        let n = items.len();
+        let f = &f;
+        self.scope(|s| {
+            for i in 0..n {
+                s.spawn(move || {
+                    // SAFETY: index `i` belongs to this task alone; the
+                    // scope keeps the borrow of `items` alive until every
+                    // task has completed.
+                    let slot = unsafe { &mut *base.get().add(i) };
+                    f(i, slot);
+                });
+            }
+        });
+    }
+
     /// Runs `f` with a [`Scope`] onto which `'scope`-borrowing tasks can
     /// be spawned; returns once every spawned task has completed. The
     /// first panic (from `f` or any task) is re-raised after the barrier.
@@ -905,6 +961,15 @@ where
     pool.scope(f)
 }
 
+/// [`ThreadPool::for_each_mut`] on the global pool.
+pub fn for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    global().for_each_mut(items, f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1002,6 +1067,48 @@ mod tests {
             });
             assert_eq!(hits.load(Ordering::Relaxed), 16, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn for_each_mut_matches_sequential_across_widths() {
+        let expect: Vec<u64> = (0..97u64).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            let mut items: Vec<u64> = (0..97u64).collect();
+            pool.for_each_mut(&mut items, |i, v| {
+                assert_eq!(*v, i as u64);
+                *v = *v * 3 + 1;
+            });
+            assert_eq!(items, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_visits_each_slot_exactly_once() {
+        let pool = ThreadPool::new(6);
+        let mut hits = vec![0usize; 200];
+        pool.for_each_mut(&mut hits, |i, h| {
+            *h += i + 1;
+        });
+        assert!(hits.iter().enumerate().all(|(i, h)| *h == i + 1));
+    }
+
+    #[test]
+    fn for_each_mut_propagates_panics() {
+        let pool = ThreadPool::new(4);
+        let mut items = vec![0u32; 50];
+        let err = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_mut(&mut items, |i, _| {
+                if i == 17 {
+                    panic!("slot 17");
+                }
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "slot 17");
+        // The pool survives.
+        pool.for_each_mut(&mut items, |_, v| *v += 1);
+        assert!(items.iter().all(|v| *v == 1));
     }
 
     #[test]

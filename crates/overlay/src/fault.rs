@@ -313,6 +313,28 @@ impl ChaosLayer {
         self.hist_extra_delay = obs.histogram("acm.overlay.chaos.extra_delay_us");
     }
 
+    /// Derives one chaos *lens* per shard, RNG streams split off this
+    /// layer's private stream in shard-index order. Each lens carries the
+    /// full plan state but draws independently, so shards can decide
+    /// [`message_fate`] for their own traffic in parallel without racing
+    /// on a shared stream — the split order (not the execution order)
+    /// fixes every draw, keeping sharded runs byte-identical at any
+    /// thread width. Fault *application* ([`apply_due`]) must stay on the
+    /// parent layer at the era barrier: lenses are for per-message
+    /// decisions only.
+    ///
+    /// [`message_fate`]: ChaosLayer::message_fate
+    /// [`apply_due`]: ChaosLayer::apply_due
+    pub fn pre_split(&mut self, shards: usize) -> Vec<ChaosLayer> {
+        (0..shards)
+            .map(|_| {
+                let mut lens = self.clone();
+                lens.rng = self.rng.split();
+                lens
+            })
+            .collect()
+    }
+
     /// Scheduled faults not yet applied.
     pub fn pending(&self) -> usize {
         self.schedule.len() - self.next
@@ -567,6 +589,35 @@ mod tests {
         assert!(tr.graph().link_usable(n(0), n(1)));
         assert_eq!(layer.pending(), 0);
         assert!(!layer.apply_due(SimTime::MAX, &mut tr, n(0)));
+    }
+
+    #[test]
+    fn pre_split_lenses_draw_independent_deterministic_streams() {
+        let plan =
+            FaultPlan::scripted(11, Vec::new()).with_message_chaos(0.5, Duration::from_millis(20));
+        let fates = |layer: &mut ChaosLayer| -> Vec<MessageFate> {
+            (0..32)
+                .map(|_| layer.message_fate(t(1), n(0), n(1)))
+                .collect()
+        };
+        let mut a = ChaosLayer::new(&plan);
+        let mut b = ChaosLayer::new(&plan);
+        let mut lenses_a = a.pre_split(3);
+        let mut lenses_b = b.pre_split(3);
+        for (la, lb) in lenses_a.iter_mut().zip(lenses_b.iter_mut()) {
+            assert_eq!(
+                fates(la),
+                fates(lb),
+                "same plan, same split order, same draws"
+            );
+        }
+        assert_ne!(
+            fates(&mut lenses_a[0]),
+            fates(&mut lenses_a[1]),
+            "lenses must not share a stream"
+        );
+        // Lenses carry the plan: applying faults through a lens still works.
+        assert_eq!(lenses_a[0].pending(), 0);
     }
 
     #[test]

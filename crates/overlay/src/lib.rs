@@ -22,7 +22,10 @@
 //!   loop, scheduled on the discrete-event simulator,
 //! * [`fault`] — seeded deterministic fault injection (link flaps, node
 //!   crashes, partitions with scheduled heals, leader kills, per-message
-//!   drop/delay chaos) replayed against the transport.
+//!   drop/delay chaos) replayed against the transport,
+//! * [`staging`] — shard-boundary outboxes that defer cross-shard message
+//!   delivery to the era barrier and merge it back in shard-index order,
+//!   preserving the unsharded delivery order byte for byte.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -32,6 +35,7 @@ pub mod fault;
 pub mod graph;
 pub mod heartbeat;
 pub mod routing;
+pub mod staging;
 pub mod transport;
 
 pub use election::{ElectionOutcome, Elector};
@@ -39,4 +43,5 @@ pub use fault::{ChaosLayer, FaultAction, FaultEvent, FaultPlan, MessageChaos, Me
 pub use graph::{LinkId, NodeId, OverlayGraph};
 pub use heartbeat::{FailureDetector, HeartbeatConfig};
 pub use routing::{Route, Router};
+pub use staging::{drain_in_shard_order, ShardOutbox, StagedMessage};
 pub use transport::Transport;

@@ -143,7 +143,7 @@ pub fn send<W>(
     transport: &mut Transport,
     from: NodeId,
     to: NodeId,
-    handler: impl FnOnce(&mut Simulator<W>) + 'static,
+    handler: impl FnOnce(&mut Simulator<W>) + Send + 'static,
 ) -> bool {
     match transport.prepare_send(from, to) {
         Some(delay) => {

@@ -1,0 +1,284 @@
+//! Era-synchronized sharded world execution.
+//!
+//! The world — any indexed set of model entities (regions, overlay
+//! endpoints, …) — is partitioned into **shards**: contiguous index
+//! ranges, each owning a private [`Simulator`] (its own event queue) and a
+//! pre-split [`SimRng`] stream. Within an **era** every shard advances
+//! independently, so shards can run on separate threads of the `acm-exec`
+//! pool; at the era **barrier** cross-shard effects are exchanged in
+//! shard-index order.
+//!
+//! Determinism discipline (the whole point of the design):
+//!
+//! 1. **Shard count is a function of the configuration, never of the
+//!    thread count.** The same layout runs at `ACM_THREADS=1` and
+//!    `ACM_THREADS=64`; threads only change *where* a shard executes.
+//! 2. **Pre-split RNG.** Each shard's stream is split off the parent in
+//!    index order at construction; no draw ever crosses a shard boundary
+//!    mid-era.
+//! 3. **Index-ordered merge.** Everything a shard exports at the barrier
+//!    (messages, reports, child obs hubs) is merged in shard-index order,
+//!    and entries within one shard keep their emission order — the merged
+//!    result is byte-identical to a sequential sweep over the items.
+//!
+//! Together these make a sharded run reproduce the unsharded event stream
+//! bit for bit at any thread width.
+
+use crate::rng::SimRng;
+use crate::sim::Simulator;
+use std::ops::Range;
+
+/// Deterministic partition of `0..items` into contiguous shard ranges.
+///
+/// Layouts are pure functions of `(items, shards)` — thread count never
+/// enters — so every run of a given configuration shards identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// `bounds[s]..bounds[s + 1]` is shard `s`'s item range.
+    bounds: Vec<usize>,
+}
+
+impl ShardLayout {
+    /// Splits `items` into at most `shards` contiguous ranges of
+    /// near-equal size (sizes differ by at most one, larger shards
+    /// first). `shards` is clamped to `[1, max(items, 1)]`, so no shard
+    /// is ever empty unless there are no items at all.
+    pub fn balanced(items: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, items.max(1));
+        let mut bounds = Vec::with_capacity(shards + 1);
+        for s in 0..=shards {
+            bounds.push(items * s / shards);
+        }
+        ShardLayout { bounds }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total number of items across all shards.
+    pub fn items(&self) -> usize {
+        *self.bounds.last().expect("bounds never empty")
+    }
+
+    /// Item range owned by shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The shard owning item `i`.
+    pub fn shard_of(&self, i: usize) -> usize {
+        assert!(i < self.items(), "item {i} outside the layout");
+        // bounds is sorted; find the last bound <= i.
+        self.bounds.partition_point(|b| *b <= i) - 1
+    }
+
+    /// Iterates `(shard, range)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Range<usize>)> + '_ {
+        (0..self.shards()).map(|s| (s, self.range(s)))
+    }
+}
+
+/// One shard: a contiguous slice of the world with its private event
+/// queue and RNG stream.
+///
+/// The simulator's queue lives for the whole run — eras schedule into and
+/// drain from the same arena, so event-slot allocations are recycled
+/// across eras (surfaced as `acm.sim.queue.arena_reuse`).
+pub struct Shard<W> {
+    /// Shard index within the layout.
+    pub index: usize,
+    /// Item range this shard owns.
+    pub items: Range<usize>,
+    /// The shard-local discrete-event simulator.
+    pub sim: Simulator<W>,
+    /// Pre-split RNG stream, private to this shard.
+    pub rng: SimRng,
+}
+
+/// A world partitioned into era-synchronized shards.
+///
+/// [`step_era`] advances every shard concurrently on the global
+/// `acm-exec` pool (exact sequential path at one thread), then returns so
+/// the caller can run its barrier exchange — index-ordered merges of
+/// whatever the shards staged.
+///
+/// [`step_era`]: ShardedWorld::step_era
+pub struct ShardedWorld<W> {
+    layout: ShardLayout,
+    shards: Vec<Shard<W>>,
+}
+
+impl<W> ShardedWorld<W> {
+    /// Builds the shards: worlds come from `make_world(shard, range)` in
+    /// index order, and each shard's RNG is split off `rng` in the same
+    /// order — construction order is the determinism anchor.
+    pub fn new(
+        layout: ShardLayout,
+        rng: &mut SimRng,
+        mut make_world: impl FnMut(usize, Range<usize>) -> W,
+    ) -> Self {
+        let shards = layout
+            .iter()
+            .map(|(s, range)| Shard {
+                index: s,
+                items: range.clone(),
+                sim: Simulator::new(make_world(s, range)),
+                rng: rng.split(),
+            })
+            .collect();
+        ShardedWorld { layout, shards }
+    }
+
+    /// The partition driving this world.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// Shared access to the shards, in index order.
+    pub fn shards(&self) -> &[Shard<W>] {
+        &self.shards
+    }
+
+    /// Mutable access to the shards, in index order (barrier-phase state
+    /// exchange).
+    pub fn shards_mut(&mut self) -> &mut [Shard<W>] {
+        &mut self.shards
+    }
+
+    /// Advances every shard through one era by calling `advance` on each,
+    /// concurrently on the global `acm-exec` pool. Returns once all
+    /// shards hit the barrier. With one participant the shards run
+    /// inline in index order — the exact sequential path.
+    pub fn step_era<F>(&mut self, advance: F)
+    where
+        W: Send,
+        F: Fn(&mut Shard<W>) + Sync,
+    {
+        acm_exec::for_each_mut(&mut self.shards, |_, shard| advance(shard));
+    }
+
+    /// Total events executed across all shards.
+    pub fn total_executed(&self) -> u64 {
+        self.shards.iter().map(|s| s.sim.executed()).sum()
+    }
+}
+
+/// Index-ordered merge: flattens per-shard staged values in shard order,
+/// preserving each shard's internal order — the canonical barrier merge.
+/// For contiguous shard layouts this equals the order a sequential sweep
+/// over the items would have produced.
+pub fn merge_in_shard_order<T>(staged: Vec<Vec<T>>) -> Vec<T> {
+    let total = staged.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for batch in staged {
+        out.extend(batch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{Duration, SimTime};
+
+    #[test]
+    fn balanced_layout_covers_all_items_contiguously() {
+        for items in [0usize, 1, 5, 7, 16, 100] {
+            for shards in [1usize, 2, 3, 4, 8, 200] {
+                let l = ShardLayout::balanced(items, shards);
+                assert!(l.shards() >= 1);
+                assert!(l.shards() <= shards.max(1));
+                assert_eq!(l.items(), items);
+                let mut next = 0;
+                for (_, r) in l.iter() {
+                    assert_eq!(r.start, next, "items={items} shards={shards}");
+                    assert!(r.end >= r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, items);
+                for i in 0..items {
+                    let s = l.shard_of(i);
+                    assert!(l.range(s).contains(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layout_is_independent_of_anything_but_its_inputs() {
+        assert_eq!(
+            ShardLayout::balanced(10, 3),
+            ShardLayout::balanced(10, 3),
+            "layouts are pure functions of (items, shards)"
+        );
+        // No empty shards: 3 items over 8 requested shards -> 3 shards.
+        assert_eq!(ShardLayout::balanced(3, 8).shards(), 3);
+    }
+
+    #[test]
+    fn sharded_era_is_byte_identical_across_widths() {
+        // Each shard schedules deterministic events per era and logs
+        // (time, draw) pairs; the merged logs must match exactly no
+        // matter how many pool threads execute the shards.
+        let run = |threads: usize| -> Vec<Vec<(u64, u64)>> {
+            let before = acm_exec::current_threads();
+            acm_exec::configure_threads(threads);
+            let mut rng = SimRng::new(42);
+            let mut world = ShardedWorld::new(ShardLayout::balanced(8, 4), &mut rng, |_, _| {
+                Vec::<(u64, u64)>::new()
+            });
+            for era in 0..5u64 {
+                let era_end = SimTime::from_secs((era + 1) * 10);
+                world.step_era(|shard| {
+                    for k in 0..20u64 {
+                        let at = shard.sim.now()
+                            + Duration::from_millis(1 + (k * 97 + shard.index as u64) % 9000);
+                        let draw = shard.rng.next_u64();
+                        shard.sim.schedule_at(at, move |s| {
+                            s.world.push((s.now().as_micros(), draw));
+                        });
+                    }
+                    shard.sim.run_until(era_end);
+                });
+            }
+            let logs = world.shards().iter().map(|s| s.sim.world.clone()).collect();
+            acm_exec::configure_threads(before);
+            logs
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one, four, "sharded eras must not depend on thread width");
+        assert!(one.iter().all(|log| !log.is_empty()));
+    }
+
+    #[test]
+    fn merge_preserves_shard_then_emission_order() {
+        let merged = merge_in_shard_order(vec![vec![1, 2], vec![], vec![3], vec![4, 5]]);
+        assert_eq!(merged, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn shard_queues_recycle_arena_slots_across_eras() {
+        let mut rng = SimRng::new(7);
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut world = ShardedWorld::new(ShardLayout::balanced(2, 2), &mut rng, |_, _| 0u64);
+        for shard in world.shards_mut() {
+            shard.sim.set_obs(&obs);
+        }
+        for era in 0..3u64 {
+            let era_end = SimTime::from_secs((era + 1) * 10);
+            world.step_era(|shard| {
+                for _ in 0..16 {
+                    shard
+                        .sim
+                        .schedule_in(Duration::from_secs(1), |s| s.world += 1);
+                }
+                shard.sim.run_until(era_end);
+            });
+        }
+        // Era 1 grows each arena to 16 slots; eras 2-3 reuse them all.
+        assert_eq!(obs.counter("acm.sim.queue.arena_reuse").value(), 2 * 32);
+    }
+}

@@ -13,7 +13,10 @@ use crate::event::{EventId, EventQueue};
 use crate::time::{Duration, SimTime};
 use acm_obs::{Counter, ObsHandle};
 
-type Handler<W> = Box<dyn FnOnce(&mut Simulator<W>)>;
+/// Handlers are `Send` so a whole `Simulator` (with its pending-event
+/// queue) can migrate between worker threads of the sharded era loop —
+/// see [`crate::shard`].
+type Handler<W> = Box<dyn FnOnce(&mut Simulator<W>) + Send>;
 
 /// Outcome of a bounded run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +58,10 @@ pub struct Simulator<W> {
     /// live handles. Values lag the hot path until the next flush.
     ctr_push: Counter,
     ctr_pop: Counter,
+    /// Arena-reuse tally already published, so flushes emit deltas of the
+    /// queue's cumulative [`EventQueue::reused_slots`] figure.
+    reuse_flushed: u64,
+    ctr_arena_reuse: Counter,
 }
 
 impl<W> Simulator<W> {
@@ -69,17 +76,22 @@ impl<W> Simulator<W> {
             pending_pop: 0,
             ctr_push: Counter::default(),
             ctr_pop: Counter::default(),
+            reuse_flushed: 0,
+            ctr_arena_reuse: Counter::default(),
         }
     }
 
-    /// Attaches observability: counts queue pushes (`acm.sim.queue.push`)
-    /// and pops (`acm.sim.queue.pop`). Metrics never feed back into the
-    /// model, so attaching this cannot perturb determinism. Tallies
-    /// batched before the call are flushed to the previous handles first.
+    /// Attaches observability: counts queue pushes (`acm.sim.queue.push`),
+    /// pops (`acm.sim.queue.pop`) and arena-slot reuse
+    /// (`acm.sim.queue.arena_reuse` — allocations the clear-and-reuse
+    /// arena saved). Metrics never feed back into the model, so attaching
+    /// this cannot perturb determinism. Tallies batched before the call
+    /// are flushed to the previous handles first.
     pub fn set_obs(&mut self, obs: &ObsHandle) {
         self.flush_obs();
         self.ctr_push = obs.counter("acm.sim.queue.push");
         self.ctr_pop = obs.counter("acm.sim.queue.pop");
+        self.ctr_arena_reuse = obs.counter("acm.sim.queue.arena_reuse");
     }
 
     /// Publishes the batched push/pop tallies to the attached counters.
@@ -94,6 +106,11 @@ impl<W> Simulator<W> {
         if self.pending_pop > 0 {
             self.ctr_pop.add(self.pending_pop);
             self.pending_pop = 0;
+        }
+        let reused = self.queue.reused_slots();
+        if reused > self.reuse_flushed {
+            self.ctr_arena_reuse.add(reused - self.reuse_flushed);
+            self.reuse_flushed = reused;
         }
     }
 
@@ -118,7 +135,7 @@ impl<W> Simulator<W> {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        handler: impl FnOnce(&mut Simulator<W>) + 'static,
+        handler: impl FnOnce(&mut Simulator<W>) + Send + 'static,
     ) -> EventId {
         assert!(
             at >= self.now,
@@ -133,7 +150,7 @@ impl<W> Simulator<W> {
     pub fn schedule_in(
         &mut self,
         delay: Duration,
-        handler: impl FnOnce(&mut Simulator<W>) + 'static,
+        handler: impl FnOnce(&mut Simulator<W>) + Send + 'static,
     ) -> EventId {
         let at = self.now + delay;
         self.pending_push += 1;
@@ -218,13 +235,13 @@ impl<W> Simulator<W> {
         &mut self,
         first: SimTime,
         period: Duration,
-        handler: impl FnMut(&mut Simulator<W>) -> bool + 'static,
+        handler: impl FnMut(&mut Simulator<W>) -> bool + Send + 'static,
     ) {
         assert!(!period.is_zero(), "periodic events need a positive period");
         fn tick<W>(
             sim: &mut Simulator<W>,
             period: Duration,
-            mut handler: impl FnMut(&mut Simulator<W>) -> bool + 'static,
+            mut handler: impl FnMut(&mut Simulator<W>) -> bool + Send + 'static,
         ) {
             if handler(sim) {
                 let next = sim.now() + period;
@@ -372,6 +389,22 @@ mod tests {
         assert_eq!(obs.counter("acm.sim.queue.push").value(), 1);
         assert!(sim.step());
         assert_eq!(obs.counter("acm.sim.queue.pop").value(), 1);
+    }
+
+    #[test]
+    fn arena_reuse_counter_reports_saved_allocations() {
+        let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+        let mut sim = Simulator::new(World::default());
+        sim.set_obs(&obs);
+        // Era 1 grows the arena; eras 2..4 recycle it slot for slot.
+        for era in 0..4u64 {
+            for i in 0..8u64 {
+                sim.schedule_at(t(era * 100 + i), |s| s.world.counter += 1);
+            }
+            sim.run_until(t(era * 100 + 50));
+        }
+        assert_eq!(obs.counter("acm.sim.queue.arena_reuse").value(), 24);
+        assert_eq!(obs.counter("acm.sim.queue.push").value(), 32);
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //!   ramp) for the load-surge experiments.
 //! * [`session`] — the first-order Markov session machine over interaction
 //!   classes (home → search → cart → buy …).
-//! * [`trace`] — open-loop rate profiles (constant, steps, diurnal) and
-//!   Poisson arrival-trace materialisation for the benches.
+//! * [`trace`] — open-loop rate profiles (constant, steps, diurnal,
+//!   burst) with Poisson arrival-trace materialisation for the benches,
+//!   plus the incremental per-era [`OpenLoopArrivals`] generator (with
+//!   deterministic per-shard pre-split streams) for mega-scale runs.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,7 +33,7 @@ pub use browser::EmulatedBrowser;
 pub use generator::{ClientSchedule, RegionWorkload};
 pub use mix::{InteractionClass, TpcwMix};
 pub use session::Session;
-pub use trace::{ArrivalTrace, RateProfile};
+pub use trace::{ArrivalTrace, OpenLoopArrivals, RateProfile};
 
 /// Mean think time of a TPC-W emulated browser, seconds (TPC-W clause
 /// 5.3.2.1 prescribes a negative-exponential distribution with a 7-second

@@ -4,7 +4,11 @@
 //! client model; the benches additionally need *open-loop* traffic — fixed
 //! request-per-second profiles that do not react to the system — to stress
 //! specific rates reproducibly. [`RateProfile`] describes λ(t);
-//! [`ArrivalTrace`] materialises Poisson arrivals from it.
+//! [`ArrivalTrace`] materialises Poisson arrivals from it up front, and
+//! [`OpenLoopArrivals`] generates the same process incrementally, one era
+//! window at a time, so sharded mega-scale runs never hold a whole
+//! horizon of arrivals in memory (use [`OpenLoopArrivals::pre_split`] for
+//! one deterministic stream per shard).
 
 use acm_sim::rng::SimRng;
 use acm_sim::time::{Duration, SimTime};
@@ -28,6 +32,19 @@ pub enum RateProfile {
         /// Oscillation period.
         period: Duration,
     },
+    /// Flash-crowd pattern: `base` rate with a burst to `peak` for the
+    /// first `burst_len` of every `period` — the square-wave counterpart
+    /// of `Diurnal` for stressing plan reaction to abrupt load swings.
+    Burst {
+        /// Rate outside the bursts.
+        base: f64,
+        /// Rate inside the bursts.
+        peak: f64,
+        /// Interval between burst starts.
+        period: Duration,
+        /// Burst duration (≤ `period`).
+        burst_len: Duration,
+    },
 }
 
 impl RateProfile {
@@ -48,6 +65,32 @@ impl RateProfile {
                 let phase = t.as_secs_f64() / period.as_secs_f64();
                 (base + amplitude * (2.0 * std::f64::consts::PI * phase).sin()).max(0.0)
             }
+            RateProfile::Burst {
+                base,
+                peak,
+                period,
+                burst_len,
+            } => {
+                let into_period = t.as_micros() % period.as_micros().max(1);
+                if into_period < burst_len.as_micros() {
+                    peak.max(0.0)
+                } else {
+                    base.max(0.0)
+                }
+            }
+        }
+    }
+
+    /// The profile's maximum rate — the thinning envelope for Poisson
+    /// generation.
+    pub fn peak_rate(&self) -> f64 {
+        match self {
+            RateProfile::Constant(r) => r.max(0.0),
+            RateProfile::Steps(steps) => steps.iter().map(|(_, r)| *r).fold(0.0, f64::max),
+            RateProfile::Diurnal {
+                base, amplitude, ..
+            } => (base + amplitude).max(0.0),
+            RateProfile::Burst { base, peak, .. } => base.max(*peak).max(0.0),
         }
     }
 
@@ -95,6 +138,22 @@ impl RateProfile {
                     return Err("diurnal period must be positive".into());
                 }
             }
+            RateProfile::Burst {
+                base,
+                peak,
+                period,
+                burst_len,
+            } => {
+                if !base.is_finite() || *base < 0.0 || !peak.is_finite() || *peak < 0.0 {
+                    return Err("burst rates must be finite and non-negative".into());
+                }
+                if period.is_zero() {
+                    return Err("burst period must be positive".into());
+                }
+                if burst_len > period {
+                    return Err("burst length cannot exceed the period".into());
+                }
+            }
         }
         Ok(())
     }
@@ -112,13 +171,7 @@ impl ArrivalTrace {
     pub fn generate(profile: &RateProfile, horizon: Duration, rng: &mut SimRng) -> Self {
         profile.validate().expect("invalid rate profile");
         // Peak rate for the thinning envelope.
-        let peak = match profile {
-            RateProfile::Constant(r) => *r,
-            RateProfile::Steps(steps) => steps.iter().map(|(_, r)| *r).fold(0.0, f64::max),
-            RateProfile::Diurnal {
-                base, amplitude, ..
-            } => base + amplitude,
-        };
+        let peak = profile.peak_rate();
         let mut arrivals = Vec::new();
         if peak <= 0.0 {
             return ArrivalTrace { arrivals };
@@ -159,6 +212,81 @@ impl ArrivalTrace {
         let lo = self.arrivals.partition_point(|t| *t < from);
         let hi = self.arrivals.partition_point(|t| *t < to);
         hi - lo
+    }
+}
+
+/// Incremental open-loop Poisson generator: the same thinned process as
+/// [`ArrivalTrace::generate`], produced one window at a time instead of a
+/// whole horizon up front.
+///
+/// The draw sequence depends only on how far the candidate cursor has
+/// advanced, never on where the window boundaries fall, so any contiguous
+/// partition of `[0, horizon)` into windows yields byte-identical
+/// arrivals — including the single-window partition, which reproduces
+/// [`ArrivalTrace::generate`] exactly. That property is what lets the
+/// era-sharded simulator pull one era of arrivals per barrier interval
+/// and still match an unsharded run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopArrivals {
+    profile: RateProfile,
+    peak: f64,
+    rng: SimRng,
+    /// Next candidate instant of the constant-rate envelope process,
+    /// seconds (`∞` for a zero-rate profile).
+    next_s: f64,
+}
+
+impl OpenLoopArrivals {
+    /// Creates a generator owning its RNG stream. Panics on an invalid
+    /// profile.
+    pub fn new(profile: RateProfile, mut rng: SimRng) -> Self {
+        profile.validate().expect("invalid rate profile");
+        let peak = profile.peak_rate();
+        let next_s = if peak > 0.0 {
+            rng.exponential(1.0 / peak)
+        } else {
+            f64::INFINITY
+        };
+        OpenLoopArrivals {
+            profile,
+            peak,
+            rng,
+            next_s,
+        }
+    }
+
+    /// One generator per shard, RNG streams split off `rng` in shard-index
+    /// order — the pre-split discipline that keeps sharded arrival
+    /// generation independent of thread width and of every other shard's
+    /// draws.
+    pub fn pre_split(profile: &RateProfile, shards: usize, rng: &mut SimRng) -> Vec<Self> {
+        (0..shards)
+            .map(|_| OpenLoopArrivals::new(profile.clone(), rng.split()))
+            .collect()
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &RateProfile {
+        &self.profile
+    }
+
+    /// Clears `out` and fills it with the arrivals in `[from, to)`,
+    /// reusing the buffer's allocation across eras. Windows must be
+    /// consumed in ascending, non-overlapping order (candidates are
+    /// generated once and never rewound); arrivals falling into a skipped
+    /// gap are dropped.
+    pub fn fill_window(&mut self, from: SimTime, to: SimTime, out: &mut Vec<SimTime>) {
+        out.clear();
+        let from_s = from.as_secs_f64();
+        let to_s = to.as_secs_f64();
+        while self.next_s < to_s {
+            let cand = self.next_s;
+            let at = SimTime::from_secs_f64(cand);
+            if self.rng.bernoulli(self.profile.rate_at(at) / self.peak) && cand >= from_s {
+                out.push(at);
+            }
+            self.next_s = cand + self.rng.exponential(1.0 / self.peak);
+        }
     }
 }
 
@@ -256,5 +384,104 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(RateProfile::Burst {
+            base: 1.0,
+            peak: 10.0,
+            period: Duration::from_secs(10),
+            burst_len: Duration::from_secs(20),
+        }
+        .validate()
+        .is_err());
+        assert!(RateProfile::Burst {
+            base: 1.0,
+            peak: -2.0,
+            period: Duration::from_secs(10),
+            burst_len: Duration::from_secs(1),
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn burst_profile_is_a_square_wave() {
+        let p = RateProfile::Burst {
+            base: 5.0,
+            peak: 50.0,
+            period: Duration::from_secs(60),
+            burst_len: Duration::from_secs(10),
+        };
+        assert_eq!(p.rate_at(t(0)), 50.0);
+        assert_eq!(p.rate_at(t(9)), 50.0);
+        assert_eq!(p.rate_at(t(10)), 5.0);
+        assert_eq!(p.rate_at(t(59)), 5.0);
+        assert_eq!(p.rate_at(t(60)), 50.0); // next period's burst
+        assert_eq!(p.peak_rate(), 50.0);
+    }
+
+    #[test]
+    fn burst_trace_concentrates_arrivals_in_bursts() {
+        let p = RateProfile::Burst {
+            base: 2.0,
+            peak: 80.0,
+            period: Duration::from_secs(100),
+            burst_len: Duration::from_secs(10),
+        };
+        let mut rng = SimRng::new(21);
+        let trace = ArrivalTrace::generate(&p, Duration::from_secs(100), &mut rng);
+        let burst = trace.count_between(t(0), t(10)) as f64;
+        let quiet = trace.count_between(t(10), t(100)) as f64;
+        assert!((burst - 800.0).abs() < 150.0, "burst window {burst}");
+        assert!((quiet - 180.0).abs() < 70.0, "quiet window {quiet}");
+    }
+
+    #[test]
+    fn open_loop_windows_reproduce_the_materialised_trace() {
+        let p = RateProfile::Burst {
+            base: 10.0,
+            peak: 60.0,
+            period: Duration::from_secs(30),
+            burst_len: Duration::from_secs(5),
+        };
+        let whole = ArrivalTrace::generate(&p, Duration::from_secs(120), &mut SimRng::new(9));
+        // The same stream pulled era by era must concatenate to the same
+        // arrivals, wherever the window boundaries fall.
+        for windows in [&[120u64][..], &[30, 30, 30, 30], &[7, 50, 13, 50]] {
+            let mut gen = OpenLoopArrivals::new(p.clone(), SimRng::new(9));
+            let mut got = Vec::new();
+            let mut buf = Vec::new();
+            let mut from = t(0);
+            for w in windows {
+                let to = from + Duration::from_secs(*w);
+                gen.fill_window(from, to, &mut buf);
+                got.extend_from_slice(&buf);
+                from = to;
+            }
+            assert_eq!(got, whole.arrivals(), "windows {windows:?}");
+        }
+    }
+
+    #[test]
+    fn pre_split_streams_are_deterministic_and_distinct() {
+        let p = RateProfile::Constant(25.0);
+        let mut shards_a = OpenLoopArrivals::pre_split(&p, 3, &mut SimRng::new(5));
+        let mut shards_b = OpenLoopArrivals::pre_split(&p, 3, &mut SimRng::new(5));
+        let mut all = Vec::new();
+        for (a, b) in shards_a.iter_mut().zip(shards_b.iter_mut()) {
+            let (mut wa, mut wb) = (Vec::new(), Vec::new());
+            a.fill_window(t(0), t(50), &mut wa);
+            b.fill_window(t(0), t(50), &mut wb);
+            assert_eq!(wa, wb, "same parent seed, same per-shard stream");
+            assert!(!wa.is_empty());
+            all.push(wa);
+        }
+        assert_ne!(all[0], all[1], "shards draw from distinct streams");
+    }
+
+    #[test]
+    fn zero_rate_open_loop_generator_is_empty() {
+        let mut g = OpenLoopArrivals::new(RateProfile::Constant(0.0), SimRng::new(1));
+        let mut buf = vec![t(1)]; // cleared by fill_window
+        g.fill_window(t(0), t(1000), &mut buf);
+        assert!(buf.is_empty());
     }
 }
