@@ -339,6 +339,64 @@ fn flap_storm_scenario(report: &mut Report) {
     );
 }
 
+/// Replays the suspicion-regime partition with causal tracing enabled
+/// and correlates the `slo.burn` / `slo.recovered` stream against the
+/// scripted fault window: the availability SLO must start burning inside
+/// the partition and be recovered after the heal, never before the
+/// fault. (The SLO monitors only run on traced hubs, so the untraced
+/// scenarios above stay byte-identical to their PR 5 baselines.)
+fn slo_fault_correlation_scenario(report: &mut Report) {
+    let fail_s = 10.0 * ERA_S as f64;
+    let heal_s = 20.0 * ERA_S as f64;
+    let mut cfg = ExperimentConfig::two_region_fig3(PolicyKind::AvailableResources, 2025);
+    cfg.predictor = PredictorChoice::Oracle;
+    cfg.eras = 60;
+    cfg.fault_plan = Some(FaultPlan::scripted(1, Vec::new()).partition_window(
+        vec![NodeId(1)],
+        SimTime::from_secs(fail_s as u64),
+        SimTime::from_secs(heal_s as u64),
+    ));
+    cfg.degradation = DegradationConfig::enabled();
+    let obs = Obs::new(ObsConfig::traced(2025));
+    let _ = run_experiment_with_obs(&cfg, obs.clone());
+
+    let events = obs.events_tail(usize::MAX);
+    let burn_times: Vec<f64> = events
+        .iter()
+        .filter(|e| e.kind == "slo.burn")
+        .map(|e| e.t_us as f64 / 1e6)
+        .collect();
+    let recovery_times: Vec<f64> = events
+        .iter()
+        .filter(|e| e.kind == "slo.recovered")
+        .map(|e| e.t_us as f64 / 1e6)
+        .collect();
+    report.push("slo_burn_events", burn_times.len() as f64);
+    report.push("slo_recovery_events", recovery_times.len() as f64);
+    report.push(
+        "slo_first_burn_s",
+        burn_times.first().copied().unwrap_or(f64::NAN),
+    );
+    report.push(
+        "slo_last_recovery_s",
+        recovery_times.last().copied().unwrap_or(f64::NAN),
+    );
+    report.gate(
+        burn_times
+            .first()
+            .is_some_and(|t| *t >= fail_s && *t <= heal_s + 5.0 * ERA_S as f64),
+        format!("slo: first burn not inside the fault window: {burn_times:?}"),
+    );
+    report.gate(
+        burn_times.iter().all(|t| *t >= fail_s),
+        format!("slo: burn fired before the fault: {burn_times:?}"),
+    );
+    report.gate(
+        recovery_times.last().is_some_and(|t| *t > heal_s),
+        format!("slo: no recovery after the heal: {recovery_times:?}"),
+    );
+}
+
 /// A fixed plan + seed must replay byte-identically — telemetry CSV and
 /// the decision log — at 1 and 4 worker threads.
 fn byte_identity_check(report: &mut Report) {
@@ -402,6 +460,8 @@ fn main() {
     leader_kill_scenario(&mut report);
     println!("\nflap storm + message chaos");
     flap_storm_scenario(&mut report);
+    println!("\nSLO burn vs fault window (traced partition replay)");
+    slo_fault_correlation_scenario(&mut report);
     println!("\nthread-width byte identity");
     byte_identity_check(&mut report);
 

@@ -183,6 +183,22 @@ fn main() {
         print_metric_row(&m.name, &m.value);
     }
 
+    // ----- retention pressure ----------------------------------------------
+    // Which kinds are hitting their per-kind ring budget. A nonzero drop
+    // column means post-mortems on that kind only see the pinned head
+    // plus the most recent tail — size `event_capacity` accordingly.
+    let kind_stats = obs.events_kind_stats();
+    let total_dropped: u64 = kind_stats.iter().map(|(_, _, d)| d).sum();
+    println!(
+        "\nretention pressure (acm.obs.events.dropped = {total_dropped}, \
+         capacity {} per kind)",
+        ObsConfig::default().event_capacity
+    );
+    println!("{:<28} {:>10} {:>10}", "kind", "retained", "dropped");
+    for (kind, retained, dropped) in &kind_stats {
+        println!("{kind:<28} {retained:>10} {dropped:>10}");
+    }
+
     // ----- decision-log tail -----------------------------------------------
     println!(
         "\ndecision log: {} events retained, {} dropped — last 15:",

@@ -26,12 +26,15 @@ use crate::policy::{uniform_fractions, LoadBalancingPolicy};
 use crate::scenario::{Scenario, ScenarioAction};
 use crate::telemetry::{ExperimentTelemetry, RegionEraRecord};
 use acm_exec::PoolStatsSnapshot;
-use acm_obs::{Counter, Gauge, Hist, Obs, ObsConfig, ObsHandle, Timer, Value};
+use acm_obs::{
+    BurnRateMonitor, Counter, Gauge, Hist, Obs, ObsConfig, ObsHandle, SloSpec, SloTransition,
+    TimelineRecorder, Timer, TraceContext, Value,
+};
 use acm_overlay::{
     ChaosLayer, ElectionOutcome, Elector, FailureDetector, MessageFate, NodeId, OverlayGraph,
     Transport,
 };
-use acm_pcam::{RegionEraReport, Vmc};
+use acm_pcam::{DriftMonitor, RegionEraReport, Vmc};
 use acm_sim::rng::SimRng;
 use acm_sim::shard::ShardLayout;
 use acm_sim::time::{Duration, SimTime};
@@ -108,6 +111,26 @@ pub struct ControlLoop {
     hist_exec_items: Hist,
     hist_exec_queue: Hist,
     hist_exec_busy: Hist,
+    // --- causal tracing state (all inert when tracing is off) ----------
+    /// Root span of the current era (ambient context for plain emits).
+    trace_era_ctx: Option<TraceContext>,
+    /// Root span of the most recent scripted link fault/recovery.
+    trace_fault_ctx: Option<TraceContext>,
+    /// Most recent health transition this era (parents the plan events).
+    trace_health_ctx: Option<TraceContext>,
+    /// Per-region: span of the latest `report.lost` (cleared on delivery).
+    trace_loss_ctx: Vec<Option<TraceContext>>,
+    /// Per-region: span of the latest `heartbeat.timeout`.
+    trace_suspect_ctx: Vec<Option<TraceContext>>,
+    /// Per-region: span of the open `region.quarantine`.
+    trace_quarantine_ctx: Vec<Option<TraceContext>>,
+    /// Burn-rate monitors (availability, latency); observed on tracing
+    /// runs only so untraced event streams stay byte-identical.
+    slo: Vec<BurnRateMonitor>,
+    /// Span of each monitor's open `slo.burn` (cleared on recovery).
+    slo_ctx: Vec<Option<TraceContext>>,
+    /// Per-region predictor-miss watchers feeding `drift.signal` roots.
+    drift: Vec<DriftMonitor>,
 }
 
 impl ControlLoop {
@@ -218,6 +241,20 @@ impl ControlLoop {
             hist_exec_items: obs.histogram("acm.exec.era.items"),
             hist_exec_queue: obs.histogram("acm.exec.era.queue_depth_peak"),
             hist_exec_busy: obs.histogram("acm.exec.era.busy_ns"),
+            trace_era_ctx: None,
+            trace_fault_ctx: None,
+            trace_health_ctx: None,
+            trace_loss_ctx: vec![None; n],
+            trace_suspect_ctx: vec![None; n],
+            trace_quarantine_ctx: vec![None; n],
+            slo: vec![
+                BurnRateMonitor::new(SloSpec::availability()),
+                BurnRateMonitor::new(SloSpec::latency()),
+            ],
+            slo_ctx: vec![None; 2],
+            // One predictor-miss window per region: half the window
+            // reactive over >= 8 end-of-life events flags drift.
+            drift: (0..n).map(|_| DriftMonitor::new(32, 0.5, 8)).collect(),
             obs,
         }
     }
@@ -298,6 +335,19 @@ impl ControlLoop {
                     ExperimentConfig::node_of(f.a),
                     ExperimentConfig::node_of(f.b),
                 );
+                // Scripted faults are first causes: on tracing runs each
+                // opens a root span downstream suspicion chains hang off.
+                if self.obs.trace_enabled() {
+                    self.trace_fault_ctx = self
+                        .obs
+                        .emit_caused(
+                            now.as_micros(),
+                            "fault.scripted",
+                            vec![("a", Value::from(f.a)), ("b", Value::from(f.b))],
+                            None,
+                        )
+                        .or(self.trace_fault_ctx);
+                }
                 self.recoveries_due.push(f);
                 changed = true;
             } else {
@@ -327,6 +377,10 @@ impl ControlLoop {
             if chaos.apply_due(now, &mut self.transport, leader) {
                 changed = true;
             }
+            // The newest chaos root (if any) becomes the era's fault
+            // context. It persists across eras on purpose: an unhealed
+            // partition keeps causing losses long after it opened.
+            self.trace_fault_ctx = chaos.last_trace_ctx().or(self.trace_fault_ctx);
             self.chaos = Some(chaos);
         }
 
@@ -395,10 +449,11 @@ impl ControlLoop {
     /// partition) to the decision log.
     fn emit_leader_change(&self) {
         if self.obs.enabled() {
-            self.obs.emit(
+            self.obs.emit_caused(
                 self.now.as_micros(),
                 "leader.change",
                 vec![("leader", Value::from(self.leader_node().0))],
+                self.trace_fault_ctx.or(self.trace_era_ctx),
             );
         }
     }
@@ -474,6 +529,8 @@ impl ControlLoop {
                     self.estimators[j] = RmttfEwma::new(self.beta);
                 }
                 if self.obs.enabled() {
+                    let is_quarantine = matches!(ev, HealthEvent::Quarantined { .. });
+                    let is_readmit = matches!(ev, HealthEvent::Readmitted);
                     let (kind, mut fields): (&'static str, Vec<(&'static str, Value)>) = match ev {
                         HealthEvent::Quarantined { stale, suspected } => (
                             "region.quarantine",
@@ -487,7 +544,28 @@ impl ControlLoop {
                         HealthEvent::Readmitted => ("region.readmit", Vec::new()),
                     };
                     fields.insert(0, ("region", Value::from(self.vmcs[j].name().to_string())));
-                    self.obs.emit(t_end.as_micros(), kind, fields);
+                    // Quarantines chain off the evidence that caused them
+                    // (suspicion > loss > fault > era); probation/readmit
+                    // continue the quarantine's own chain.
+                    let parent = if is_quarantine {
+                        self.trace_suspect_ctx[j]
+                            .or(self.trace_loss_ctx[j])
+                            .or(self.trace_fault_ctx)
+                            .or(self.trace_era_ctx)
+                    } else {
+                        self.trace_quarantine_ctx[j].or(self.trace_era_ctx)
+                    };
+                    let ctx = self
+                        .obs
+                        .emit_caused(t_end.as_micros(), kind, fields, parent);
+                    if is_quarantine {
+                        self.trace_quarantine_ctx[j] = ctx;
+                    } else if is_readmit {
+                        self.trace_quarantine_ctx[j] = None;
+                        self.trace_loss_ctx[j] = None;
+                        self.trace_suspect_ctx[j] = None;
+                    }
+                    self.trace_health_ctx = ctx.or(self.trace_health_ctx);
                 }
             }
         }
@@ -568,13 +646,26 @@ impl ControlLoop {
             // era, or the parent would see a different event stream than
             // the sequential sweep produces.
             event_capacity: self.obs_cfg.event_capacity.max(4096),
+            // Children inherit the trace flag so their plain emits pick up
+            // the era's ambient annotation — but they never ALLOCATE spans
+            // (all span ids come from the leader's tracer, in era order),
+            // which is what keeps traced runs byte-identical at any
+            // thread width. The derived seed only matters if that
+            // invariant is ever relaxed.
+            trace: self.obs.trace_enabled(),
+            trace_seed: acm_obs::trace::mix(self.obs.trace_seed(), self.era_index as u64),
         };
+        let era_ambient = self.obs.trace_ambient();
+        let timeline = self.obs.timeline_recorder().cloned();
+        let era_no = self.era_index as u64;
 
         struct MonitorShard {
             vmcs: Vec<Vmc>,
             lambdas: Vec<f64>,
             child: Option<ObsHandle>,
             reports: Vec<RegionEraReport>,
+            timeline: Option<std::sync::Arc<TimelineRecorder>>,
+            track: u32,
         }
 
         let mut shards: Vec<MonitorShard> = Vec::with_capacity(layout.shards());
@@ -584,6 +675,7 @@ impl ControlLoop {
             let mut bucket: Vec<Vmc> = vmc_iter.by_ref().take(range.len()).collect();
             let child = if obs_on {
                 let child = Obs::new(child_cfg);
+                child.set_trace_ambient(era_ambient);
                 for vmc in &mut bucket {
                     vmc.set_obs(child.clone());
                 }
@@ -591,18 +683,34 @@ impl ControlLoop {
             } else {
                 None
             };
+            let track = 1 + s as u32;
+            if let Some(tl) = &timeline {
+                tl.set_track_name(track, &format!("shard {s}"));
+            }
             shards.push(MonitorShard {
                 vmcs: bucket,
                 lambdas: lambdas[range].to_vec(),
                 child,
                 reports: Vec::new(),
+                timeline: timeline.clone(),
+                track,
             });
         }
 
         acm_exec::for_each_mut(&mut shards, |_, shard| {
+            let t0 = shard.timeline.as_ref().map(|tl| tl.now_us());
             shard.reports.reserve(shard.vmcs.len());
             for (vmc, &lambda) in shard.vmcs.iter_mut().zip(&shard.lambdas) {
                 shard.reports.push(vmc.process_era(t_start, era, lambda));
+            }
+            if let (Some(tl), Some(t0)) = (&shard.timeline, t0) {
+                tl.record(
+                    shard.track,
+                    "monitor.shard",
+                    t0,
+                    tl.now_us().saturating_sub(t0),
+                    era_no,
+                );
             }
         });
 
@@ -636,11 +744,42 @@ impl ControlLoop {
         let t_start = self.now;
         let t_end = t_start + self.era;
 
+        // Era root span: every causal chain this era bottoms out here (or
+        // at a fault root). The ambient context makes plain emits carry it.
+        if self.obs.trace_enabled() {
+            self.trace_era_ctx = self.obs.emit_caused(
+                t_start.as_micros(),
+                "era",
+                vec![("era", Value::from(self.era_index))],
+                None,
+            );
+            self.obs.set_trace_ambient(self.trace_era_ctx);
+            self.trace_health_ctx = None;
+        }
+        // Wall-clock timeline (Perfetto export): leader phase slices on
+        // track 0, shard/worker slices on their own tracks. Metrics-class
+        // data — never part of the byte-identity contract.
+        let timeline = self.obs.timeline_recorder().cloned();
+        let era_no = self.era_index as u64;
+        if let Some(tl) = &timeline {
+            tl.set_track_name(0, "leader");
+        }
+        let mark = |tl: &Option<std::sync::Arc<TimelineRecorder>>| tl.as_ref().map(|t| t.now_us());
+        let slice = |tl: &Option<std::sync::Arc<TimelineRecorder>>,
+                     name: &'static str,
+                     start: Option<u64>| {
+            if let (Some(t), Some(s)) = (tl.as_ref(), start) {
+                t.record(0, name, s, t.now_us().saturating_sub(s), era_no);
+            }
+        };
+        let era_t0 = mark(&timeline);
+
         self.apply_faults();
         self.apply_scenario();
 
         // ----- MONITOR: client ingress under the interactive law ----------
         let monitor_span = self.monitor_timer.start();
+        let monitor_t0 = mark(&timeline);
         let lambda_in: Vec<f64> = (0..n)
             .map(|i| self.workloads[i].offered_rate(t_start, self.observed_response[i]))
             .collect();
@@ -666,9 +805,11 @@ impl ControlLoop {
             .collect();
         let reports = self.process_regions_sharded(&lambdas, t_start);
         drop(monitor_span);
+        slice(&timeline, "monitor", monitor_t0);
 
         // ----- ANALYZE: slaves report lastRMTTF to the leader --------------
         let analyze_span = self.analyze_timer.start();
+        let analyze_t0 = mark(&timeline);
         let leader = self.leader_node();
         let mut delivered = vec![false; n];
         for j in 0..n {
@@ -676,28 +817,56 @@ impl ControlLoop {
             if self.send_with_retries(t_end, node, leader) == SendOutcome::Delivered {
                 self.received_rmttf[j] = reports[j].last_rmttf;
                 delivered[j] = true;
+                self.trace_loss_ctx[j] = None;
+                self.trace_suspect_ctx[j] = None;
                 // A delivered report doubles as a heartbeat.
                 if let Some(det) = &mut self.detector {
                     det.record_heartbeat(node, t_end);
                 }
             } else {
-                // Report lost; the leader keeps the stale value.
+                // Report lost; the leader keeps the stale value. Chains
+                // off the fault that (probably) ate it.
                 if self.obs.enabled() {
-                    self.obs.emit(
-                        t_end.as_micros(),
-                        "report.lost",
-                        vec![("region", Value::from(self.vmcs[j].name().to_string()))],
-                    );
+                    self.trace_loss_ctx[j] = self
+                        .obs
+                        .emit_caused(
+                            t_end.as_micros(),
+                            "report.lost",
+                            vec![("region", Value::from(self.vmcs[j].name().to_string()))],
+                            self.trace_fault_ctx.or(self.trace_era_ctx),
+                        )
+                        .or(self.trace_loss_ctx[j]);
                 }
             }
         }
         if let Some(det) = &mut self.detector {
-            det.check(t_end);
+            let newly = det.check(t_end);
+            // Suspicion events are trace-only (they would change untraced
+            // event streams otherwise); each chains loss -> fault -> era.
+            if self.obs.trace_enabled() {
+                for node in newly {
+                    let j = node.0 as usize;
+                    let silent = det.silent_for(node, t_end).unwrap_or(Duration::ZERO);
+                    self.trace_suspect_ctx[j] = self.obs.emit_caused(
+                        t_end.as_micros(),
+                        "heartbeat.timeout",
+                        vec![
+                            ("node", Value::from(node.0)),
+                            ("silent_us", Value::from(silent.as_micros())),
+                        ],
+                        self.trace_loss_ctx[j]
+                            .or(self.trace_fault_ctx)
+                            .or(self.trace_era_ctx),
+                    );
+                }
+            }
         }
         drop(analyze_span);
+        slice(&timeline, "analyze", analyze_t0);
 
         // ----- PLAN (leader): Eq. 1 then POLICY() --------------------------
         let plan_span = self.plan_timer.start();
+        let plan_t0 = mark(&timeline);
         let live_mask = self.update_region_health(&delivered, t_end);
         let rmttf_now: Vec<f64> = (0..n)
             .map(|j| {
@@ -728,6 +897,7 @@ impl ControlLoop {
         }
         let target = self.plan_fractions(&live_mask, &rmttf_now, lambda_total);
         drop(plan_span);
+        slice(&timeline, "plan", plan_t0);
 
         // ----- EXECUTE: install the new plan, but only if EVERY region is
         // reachable — a global forward plan installed on a strict subset of
@@ -735,6 +905,7 @@ impl ControlLoop {
         // longer sum to one across the regions actually applying them), so
         // the leader freezes the previous plan until connectivity returns.
         let execute_span = self.execute_timer.start();
+        let execute_t0 = mark(&timeline);
         let install_targets: Vec<usize> = if self.degradation.enabled {
             (0..n).filter(|&j| live_mask[j]).collect()
         } else {
@@ -751,29 +922,34 @@ impl ControlLoop {
                 break;
             }
         }
+        // The plan decision chains off this era's health transition when
+        // one happened (quarantine/readmit re-planning), else off the era.
+        let plan_parent = self.trace_health_ctx.or(self.trace_era_ctx);
         if installable {
             if self.obs.enabled() {
                 let fmt = |fs: &[f64]| {
                     acm_obs::json::array(fs.iter().map(|f| acm_obs::json::fmt_f64(*f)))
                 };
-                self.obs.emit(
+                self.obs.emit_caused(
                     t_end.as_micros(),
                     "plan.install",
                     vec![
                         ("old", Value::from(fmt(&self.fractions))),
                         ("new", Value::from(fmt(&target))),
                     ],
+                    plan_parent,
                 );
             }
             self.fractions = target;
         } else if self.degradation.enabled && self.obs.enabled() {
-            self.obs.emit(
+            self.obs.emit_caused(
                 t_end.as_micros(),
                 "plan.freeze",
                 vec![
                     ("live", Value::from(install_targets.len())),
                     ("regions", Value::from(n)),
                 ],
+                plan_parent.or(self.trace_fault_ctx),
             );
         }
 
@@ -790,6 +966,31 @@ impl ControlLoop {
             self.autoscalers[j] = scaler;
         }
         drop(execute_span);
+        slice(&timeline, "execute", execute_t0);
+
+        // Predictor-drift watch (tracing runs only): every end-of-life
+        // event this era feeds the per-region miss window; a flip into
+        // the drifted state opens a root `drift.signal` span.
+        if self.obs.trace_enabled() {
+            for j in 0..n {
+                for _ in 0..reports[j].reactive_failures {
+                    self.drift[j].record_with_obs(
+                        true,
+                        &self.obs,
+                        t_end.as_micros(),
+                        self.vmcs[j].name(),
+                    );
+                }
+                for _ in 0..reports[j].proactive_rejuvenations {
+                    self.drift[j].record_with_obs(
+                        false,
+                        &self.obs,
+                        t_end.as_micros(),
+                        self.vmcs[j].name(),
+                    );
+                }
+            }
+        }
 
         // ----- client-observed response times for the next era -------------
         // A client attached to region i experiences the processing time of
@@ -842,6 +1043,55 @@ impl ControlLoop {
             remote,
         );
 
+        // ----- SLO burn rates (tracing runs only) ---------------------------
+        // Availability: did the leader hear from every region this era?
+        // Latency: completed requests served by regions inside the 1 s SLA
+        // (the paper's response-time bound). Both use the SRE fast/slow
+        // multi-window rule; transitions chain off the active fault.
+        if self.obs.trace_enabled() {
+            let delivered_count = delivered.iter().filter(|d| **d).count() as u64;
+            let total_completed: u64 = reports.iter().map(|r| r.completed).sum();
+            let within_sla: u64 = reports
+                .iter()
+                .filter(|r| r.mean_response_s <= 1.0)
+                .map(|r| r.completed)
+                .sum();
+            let inputs = [(delivered_count, n as u64), (within_sla, total_completed)];
+            for (i, (good, total)) in inputs.into_iter().enumerate() {
+                let name = self.slo[i].spec().name;
+                match self.slo[i].observe(good, total) {
+                    Some(SloTransition::Fired {
+                        fast_burn,
+                        slow_burn,
+                    }) => {
+                        self.slo_ctx[i] = self.obs.emit_caused(
+                            t_end.as_micros(),
+                            "slo.burn",
+                            vec![
+                                ("slo", Value::from(name)),
+                                ("fast_burn", Value::from(fast_burn)),
+                                ("slow_burn", Value::from(slow_burn)),
+                            ],
+                            self.trace_fault_ctx.or(self.trace_era_ctx),
+                        );
+                    }
+                    Some(SloTransition::Recovered { fast_burn }) => {
+                        self.obs.emit_caused(
+                            t_end.as_micros(),
+                            "slo.recovered",
+                            vec![
+                                ("slo", Value::from(name)),
+                                ("fast_burn", Value::from(fast_burn)),
+                            ],
+                            self.slo_ctx[i].or(self.trace_era_ctx),
+                        );
+                        self.slo_ctx[i] = None;
+                    }
+                    None => {}
+                }
+            }
+        }
+
         // ----- continuous exec-pool sampling --------------------------------
         // One histogram sample per era, so obs_report can localise a pool
         // stall to a phase of the run. Wall-clock data: metrics only, never
@@ -852,8 +1102,22 @@ impl ControlLoop {
             self.hist_exec_items.record(delta.items);
             self.hist_exec_queue.record(delta.queue_depth_peak);
             self.hist_exec_busy.record(delta.total_busy_ns());
+            // Per-worker busy slices for the Perfetto timeline, anchored
+            // at the era's wall-clock start (the pool reports aggregate
+            // busy-ns, not per-job placement).
+            if let (Some(tl), Some(t0)) = (&timeline, era_t0) {
+                for (w, &busy_ns) in delta.worker_busy_ns.iter().enumerate() {
+                    if busy_ns == 0 {
+                        continue;
+                    }
+                    let track = 100 + w as u32;
+                    tl.set_track_name(track, &format!("worker {w}"));
+                    tl.record(track, "exec.busy", t0, busy_ns / 1_000, era_no);
+                }
+            }
             self.exec_prev = now_stats;
         }
+        slice(&timeline, "era", era_t0);
 
         self.plan = Some(plan);
         self.now = t_end;

@@ -171,6 +171,12 @@ pub fn run_experiment_with_obs(
     let mut cl = ControlLoop::new_with_obs(cfg, vmcs, rng, obs.clone());
     cl.run(cfg.eras);
     publish_exec_stats(&obs, &exec_baseline);
+    // Retention pressure: how many decision-log events the ring evicted
+    // over the run (surfaced so obs_report can flag undersized logs).
+    if obs.enabled() {
+        obs.counter("acm.obs.events.dropped")
+            .add(obs.events_dropped());
+    }
     cl.into_telemetry()
 }
 

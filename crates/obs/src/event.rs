@@ -240,6 +240,18 @@ impl EventLog {
         stores.kinds.values().map(|s| s.dropped).sum()
     }
 
+    /// Per-kind retention pressure: `(kind, retained, dropped)` rows in
+    /// kind order. Shows which kinds are flooding their ring — and which
+    /// history is silently thinning — without dumping the log.
+    pub fn kind_stats(&self) -> Vec<(&'static str, usize, u64)> {
+        let stores = self.stores.lock().unwrap();
+        stores
+            .kinds
+            .iter()
+            .map(|(kind, s)| (*kind, s.head.len() + s.tail.len(), s.dropped))
+            .collect()
+    }
+
     /// All retained records as JSON Lines, ordered by sequence number
     /// (empty string when nothing is retained).
     pub fn to_jsonl(&self) -> String {
@@ -316,6 +328,11 @@ mod tests {
         assert_eq!(ewma, vec![1, 2, 95, 96, 97, 98, 99, 100]);
         assert_eq!(log.len(), 9);
         assert_eq!(log.dropped(), 92);
+        // Retention pressure is visible per kind, in kind order.
+        assert_eq!(
+            log.kind_stats(),
+            vec![("ewma.update", 8, 92), ("rejuvenation.proactive", 1, 0)]
+        );
     }
 
     #[test]

@@ -12,17 +12,21 @@
 //! non-finite values map to `null` since JSON has no NaN/infinity.
 
 /// Appends `s` to `out` as a JSON string literal (with surrounding
-/// quotes), escaping `"`, `\` and control characters.
+/// quotes), escaping `"`, `\`, every C0 control character and DEL
+/// (`\u{7f}`) — DEL is legal unescaped JSON but breaks line-oriented
+/// consumers, so it gets the `\uXXXX` treatment too.
 pub fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
                 out.push_str(&format!("\\u{:04x}", c as u32));
             }
             c => out.push(c),
@@ -163,7 +167,15 @@ mod tests {
         assert_eq!(escape("a\\b"), "\"a\\\\b\"");
         assert_eq!(escape("a\nb\tc"), "\"a\\nb\\tc\"");
         assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escape("\u{8}\u{c}"), "\"\\b\\f\"");
+        assert_eq!(escape("\u{7f}"), "\"\\u007f\"");
         assert_eq!(escape("λ=0.5"), "\"λ=0.5\"");
+        // The escaped text is itself free of raw control bytes.
+        let nasty: String = (0u32..0x20)
+            .chain([0x7f])
+            .map(|c| char::from_u32(c).unwrap())
+            .collect();
+        assert!(escape(&nasty).chars().all(|c| (c as u32) >= 0x20));
     }
 
     #[test]

@@ -55,13 +55,19 @@
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod span;
+pub mod timeline;
+pub mod trace;
 
 pub use event::{EventLog, EventRecord, Value};
 pub use metrics::{
     Counter, Gauge, Hist, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry,
 };
+pub use slo::{BurnRateMonitor, SloSpec, SloTransition};
 pub use span::{Span, Timer};
+pub use timeline::{TimelineRecorder, TimelineSlice};
+pub use trace::{SpanRecord, TraceContext, Tracer};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -78,14 +84,25 @@ pub struct ObsConfig {
     /// ring whose evictions are counted as dropped. See
     /// [`event`](crate::event) for the full policy.
     pub event_capacity: usize,
+    /// Record causal spans ([`trace`](crate::trace)), the era timeline
+    /// ([`timeline`](crate::timeline)) and annotate emitted events with
+    /// their trace context. Off by default: a non-traced run's event log
+    /// is byte-identical to earlier releases.
+    pub trace: bool,
+    /// Seed for deterministic span-ID derivation (only read when `trace`
+    /// is set; conventionally the experiment seed).
+    pub trace_seed: u64,
 }
 
 impl Default for ObsConfig {
-    /// On-but-cheap: instruments live, 4096 retained events per kind.
+    /// On-but-cheap: instruments live, 4096 retained events per kind,
+    /// tracing off.
     fn default() -> Self {
         ObsConfig {
             enabled: true,
             event_capacity: 4096,
+            trace: false,
+            trace_seed: 0,
         }
     }
 }
@@ -96,6 +113,18 @@ impl ObsConfig {
         ObsConfig {
             enabled: false,
             event_capacity: 0,
+            trace: false,
+            trace_seed: 0,
+        }
+    }
+
+    /// The default configuration with causal tracing + timeline capture
+    /// on, deriving span IDs from `seed`.
+    pub fn traced(seed: u64) -> Self {
+        ObsConfig {
+            trace: true,
+            trace_seed: seed,
+            ..ObsConfig::default()
         }
     }
 
@@ -103,6 +132,9 @@ impl ObsConfig {
     pub fn validate(&self) -> Result<(), String> {
         if self.enabled && self.event_capacity == 0 {
             return Err("enabled observability needs event_capacity > 0".into());
+        }
+        if self.trace && !self.enabled {
+            return Err("tracing needs enabled observability".into());
         }
         Ok(())
     }
@@ -121,17 +153,22 @@ pub struct Obs {
     registry: MetricsRegistry,
     events: EventLog,
     span_depth: Arc<AtomicUsize>,
+    tracer: Option<Tracer>,
+    timeline: Option<Arc<TimelineRecorder>>,
 }
 
 impl Obs {
     /// Builds an observability hub from the configuration.
     pub fn new(cfg: ObsConfig) -> ObsHandle {
         cfg.validate().expect("invalid obs config");
+        let trace_on = cfg.enabled && cfg.trace;
         Arc::new(Obs {
             enabled: cfg.enabled,
             registry: MetricsRegistry::new(cfg.enabled),
             events: EventLog::new(if cfg.enabled { cfg.event_capacity } else { 0 }),
             span_depth: Arc::new(AtomicUsize::new(0)),
+            tracer: trace_on.then(|| Tracer::new(cfg.trace_seed)),
+            timeline: trace_on.then(|| Arc::new(TimelineRecorder::new())),
         })
     }
 
@@ -183,11 +220,114 @@ impl Obs {
 
     /// Appends a structured event at simulated time `t_us` (microseconds).
     /// Events must carry only seed-deterministic payloads — never
-    /// wall-clock readings — so logs are identical per seed.
-    pub fn emit(&self, t_us: u64, kind: &'static str, fields: Vec<(&'static str, Value)>) {
-        if self.enabled {
-            self.events.push(t_us, kind, fields);
+    /// wall-clock readings — so logs are identical per seed. When tracing
+    /// is on and an ambient context is set, events not already carrying a
+    /// `trace` field are annotated with `(trace, cause)` — the chain in
+    /// effect when they were emitted.
+    pub fn emit(&self, t_us: u64, kind: &'static str, mut fields: Vec<(&'static str, Value)>) {
+        if !self.enabled {
+            return;
         }
+        if let Some(tr) = &self.tracer {
+            if let Some(amb) = tr.ambient() {
+                if !fields.iter().any(|(k, _)| *k == "trace") {
+                    fields.push(("trace", Value::U64(amb.trace)));
+                    fields.push(("cause", Value::U64(amb.span)));
+                }
+            }
+        }
+        self.events.push(t_us, kind, fields);
+    }
+
+    /// Emits an event **with its own span**: opens a span named `kind`
+    /// (a root when `parent` is `None`, a child otherwise), annotates the
+    /// event with `(trace, span, cause)` and returns the new context so
+    /// downstream decisions can chain off it. Without tracing this is
+    /// exactly [`Obs::emit`] and returns `None` — the event log stays
+    /// byte-identical to a non-traced run.
+    pub fn emit_caused(
+        &self,
+        t_us: u64,
+        kind: &'static str,
+        mut fields: Vec<(&'static str, Value)>,
+        parent: Option<TraceContext>,
+    ) -> Option<TraceContext> {
+        if !self.enabled {
+            return None;
+        }
+        let Some(tr) = &self.tracer else {
+            self.events.push(t_us, kind, fields);
+            return None;
+        };
+        let ctx = tr.span(t_us, kind, parent);
+        fields.push(("trace", Value::U64(ctx.trace)));
+        fields.push(("span", Value::U64(ctx.span)));
+        fields.push(("cause", Value::U64(parent.map_or(0, |p| p.span))));
+        self.events.push(t_us, kind, fields);
+        Some(ctx)
+    }
+
+    /// Whether causal tracing (and the timeline recorder) is active.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// The span-ID derivation seed (0 when tracing is off).
+    pub fn trace_seed(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.seed())
+    }
+
+    /// Opens a root span at simulated time `t_us` (None without tracing).
+    pub fn trace_root(&self, t_us: u64, name: &'static str) -> Option<TraceContext> {
+        self.tracer.as_ref().map(|t| t.span(t_us, name, None))
+    }
+
+    /// Opens a child span of `parent` (None without tracing).
+    pub fn trace_child(
+        &self,
+        t_us: u64,
+        name: &'static str,
+        parent: TraceContext,
+    ) -> Option<TraceContext> {
+        self.tracer
+            .as_ref()
+            .map(|t| t.span(t_us, name, Some(parent)))
+    }
+
+    /// The ambient trace context (None without tracing or when unset).
+    pub fn trace_ambient(&self) -> Option<TraceContext> {
+        self.tracer.as_ref().and_then(|t| t.ambient())
+    }
+
+    /// Sets the ambient trace context annotating subsequent plain emits.
+    /// No-op without tracing.
+    pub fn set_trace_ambient(&self, ctx: Option<TraceContext>) {
+        if let Some(tr) = &self.tracer {
+            tr.set_ambient(ctx);
+        }
+    }
+
+    /// Every retained span record, in allocation order (empty without
+    /// tracing).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.tracer.as_ref().map_or_else(Vec::new, |t| t.records())
+    }
+
+    /// Retained spans as JSON Lines (empty without tracing).
+    pub fn spans_jsonl(&self) -> String {
+        self.tracer
+            .as_ref()
+            .map_or_else(String::new, |t| t.to_jsonl())
+    }
+
+    /// Spans allocated past the tracer's retention cap.
+    pub fn spans_dropped(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.dropped())
+    }
+
+    /// The wall-clock timeline recorder (None without tracing).
+    pub fn timeline_recorder(&self) -> Option<&Arc<TimelineRecorder>> {
+        self.timeline.as_ref()
     }
 
     /// Snapshot of every registered metric, sorted by name.
@@ -210,6 +350,9 @@ impl Obs {
         for rec in child.events.tail(usize::MAX) {
             self.events.push(rec.t_us, rec.kind, rec.fields);
         }
+        if let (Some(tr), Some(child_tr)) = (&self.tracer, &child.tracer) {
+            tr.merge_from(child_tr);
+        }
     }
 
     /// Snapshot of every registered metric as JSON Lines (one object per
@@ -231,6 +374,12 @@ impl Obs {
     /// Events evicted after a kind's retention budget filled.
     pub fn events_dropped(&self) -> u64 {
         self.events.dropped()
+    }
+
+    /// Per-kind retention pressure: `(kind, retained, dropped)` rows in
+    /// kind order — see [`EventLog::kind_stats`].
+    pub fn events_kind_stats(&self) -> Vec<(&'static str, usize, u64)> {
+        self.events.kind_stats()
     }
 
     /// The retained event log as JSON Lines (one object per record).
@@ -344,6 +493,98 @@ mod tests {
         let _ = Obs::new(ObsConfig {
             enabled: true,
             event_capacity: 0,
+            ..ObsConfig::default()
         });
+    }
+
+    #[test]
+    fn tracing_on_a_disabled_hub_is_rejected() {
+        let cfg = ObsConfig {
+            enabled: false,
+            event_capacity: 0,
+            trace: true,
+            trace_seed: 1,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn non_traced_hub_emits_without_annotation() {
+        let obs = Obs::new(ObsConfig::default());
+        assert!(!obs.trace_enabled());
+        assert_eq!(obs.trace_root(0, "era"), None);
+        assert_eq!(obs.emit_caused(5, "plan.install", vec![], None), None);
+        let tail = obs.events_tail(1);
+        assert!(tail[0].fields.is_empty(), "no trace fields without tracing");
+        assert!(obs.spans().is_empty());
+        assert_eq!(obs.spans_jsonl(), "");
+        assert!(obs.timeline_recorder().is_none());
+    }
+
+    #[test]
+    fn traced_hub_annotates_and_chains() {
+        let obs = Obs::new(ObsConfig::traced(2025));
+        assert!(obs.trace_enabled());
+        assert_eq!(obs.trace_seed(), 2025);
+        let fault = obs
+            .emit_caused(10, "chaos.partition", vec![("n", Value::from(2u64))], None)
+            .unwrap();
+        let quarantine = obs
+            .emit_caused(20, "region.quarantine", vec![], Some(fault))
+            .unwrap();
+        assert_eq!(quarantine.trace, fault.trace);
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].parent, 0);
+        assert_eq!(spans[1].parent, fault.span);
+        // Event fields carry the identity.
+        let tail = obs.events_tail(2);
+        let get = |rec: &EventRecord, key: &str| {
+            rec.fields
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(get(&tail[0], "cause"), Some(Value::U64(0)));
+        assert_eq!(get(&tail[1], "cause"), Some(Value::U64(fault.span)));
+        assert_eq!(get(&tail[1], "trace"), Some(Value::U64(fault.trace)));
+        assert!(obs.timeline_recorder().is_some());
+    }
+
+    #[test]
+    fn ambient_context_annotates_plain_emits_once() {
+        let obs = Obs::new(ObsConfig::traced(7));
+        let era = obs.trace_root(0, "era").unwrap();
+        obs.set_trace_ambient(Some(era));
+        obs.emit(5, "ewma.update", vec![("raw_s", Value::from(1.5))]);
+        // An event already carrying a trace field is left alone.
+        let fault = obs.emit_caused(6, "chaos.heal", vec![], None).unwrap();
+        let tail = obs.events_tail(2);
+        let trace_of = |rec: &EventRecord| {
+            rec.fields
+                .iter()
+                .find(|(k, _)| *k == "trace")
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(trace_of(&tail[0]), Some(Value::U64(era.trace)));
+        assert_eq!(trace_of(&tail[1]), Some(Value::U64(fault.trace)));
+        assert_ne!(fault.trace, era.trace, "explicit root ignores ambient");
+        obs.set_trace_ambient(None);
+        obs.emit(7, "ewma.update", vec![]);
+        assert!(obs.events_tail(1)[0].fields.is_empty());
+    }
+
+    #[test]
+    fn merge_from_folds_child_spans() {
+        let parent = Obs::new(ObsConfig::traced(1));
+        parent.trace_root(0, "era");
+        let child = Obs::new(ObsConfig {
+            trace_seed: trace::mix(1, 42),
+            ..ObsConfig::traced(1)
+        });
+        child.trace_root(5, "rejuvenation.proactive");
+        parent.merge_from(&child);
+        assert_eq!(parent.spans().len(), 2);
+        assert_eq!(parent.spans()[1].name, "rejuvenation.proactive");
     }
 }

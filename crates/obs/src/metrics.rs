@@ -226,10 +226,13 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the bucket
-    /// where the cumulative count crosses `q · count`, clamped to the true
-    /// observed `[min, max]`. Bucket granularity makes this exact to within
-    /// a factor of two.
+    /// Approximate quantile `q ∈ [0, 1]`: finds the bucket where the
+    /// cumulative count crosses `q · count` and interpolates linearly
+    /// within it (the bucket's `n` samples assumed evenly spread over its
+    /// value range), clamped to the true observed `[min, max]`. The
+    /// interpolation removes the systematic one-bucket-up bias the old
+    /// report-the-upper-bound rule had; the answer stays exact to within
+    /// the bucket's factor-of-two width.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -237,10 +240,18 @@ impl HistogramSnapshot {
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_bounds(i).1.clamp(self.min, self.max);
+            if n == 0 {
+                continue;
             }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                // The rank-th sample is the (rank - seen)-th of this
+                // bucket's n; place it at the midpoint of its 1/n slice.
+                let pos = (rank - seen) as f64 - 0.5;
+                let est = lo as f64 + (hi - lo) as f64 * (pos / n as f64);
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
         }
         self.max
     }
@@ -534,6 +545,37 @@ mod tests {
         let p99 = s.p99();
         assert!((990..=1000).contains(&p99), "p99 {p99}");
         assert_eq!(s.quantile(0.0), s.min.max(1));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_the_winning_bucket() {
+        // 1..=1000 uniformly: cumulative count reaches 255 through bucket
+        // 8, bucket 9 holds 256..=511 (256 samples), bucket 10 holds
+        // 512..=1000 (489 samples). Linear interpolation pins the exact
+        // uniform quantiles instead of the bucket upper bounds the old
+        // rule reported (p50 = 511, p99 = 1000 by clamping from 1023).
+        let (_reg, h) = hist();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 500);
+        assert_eq!(s.p90(), 918);
+        assert_eq!(s.p99(), 1000, "interpolates past max, clamps back");
+        assert_eq!(s.quantile(0.25), 250);
+        // A single-sample bucket interpolates to its midpoint, clamped to
+        // the observed range.
+        let regb = MetricsRegistry::new(true);
+        let one = regb.histogram("acm.test.hist.one");
+        one.record(100);
+        assert_eq!(one.snapshot().p50(), 100);
+        // Two samples in one bucket land on the 1/4 and 3/4 points.
+        let two = regb.histogram("acm.test.hist.two");
+        two.record(64);
+        two.record(127);
+        let st = two.snapshot();
+        assert_eq!(st.p50(), 80, "64 + 63/4 ≈ 80");
+        assert_eq!(st.quantile(1.0), 111, "64 + 63·3/4 ≈ 111, within range");
     }
 
     #[test]

@@ -1,0 +1,306 @@
+//! Multi-window burn-rate SLO monitors.
+//!
+//! An SLO says "at least `objective` of requests succeed". The *burn
+//! rate* over a window is the observed error rate divided by the error
+//! budget `1 - objective`: burn 1 means the budget is being consumed
+//! exactly at the sustainable pace, burn 10 means ten times too fast.
+//! Following the classic multi-window alerting recipe, a monitor fires
+//! only when **both** a short window (fast, catches the onset) and a
+//! long window (slow, filters blips) exceed their thresholds, and
+//! recovers once the fast window's burn drops below 1.
+//!
+//! The control loop evaluates monitors at era boundaries over
+//! seed-deterministic inputs (report deliveries, completed-request
+//! counts), so `slo.burn`/`slo.recovered` events are byte-identical per
+//! seed — chaos reports correlate them with fault windows mechanically.
+
+use std::collections::VecDeque;
+
+/// One SLO definition plus its alerting windows (window units are eras).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Static name (`availability`, `latency`, …).
+    pub name: &'static str,
+    /// Target good/total ratio in `(0, 1)`.
+    pub objective: f64,
+    /// Short-window length, in observations (eras).
+    pub fast_window: usize,
+    /// Burn-rate threshold for the short window.
+    pub fast_threshold: f64,
+    /// Long-window length, in observations (eras).
+    pub slow_window: usize,
+    /// Burn-rate threshold for the long window.
+    pub slow_threshold: f64,
+}
+
+impl SloSpec {
+    /// The control-plane availability SLO: 95% of per-era region reports
+    /// reach the leader; page at 4× burn over 3 eras backed by 2× over
+    /// 12 eras.
+    pub fn availability() -> Self {
+        SloSpec {
+            name: "availability",
+            objective: 0.95,
+            fast_window: 3,
+            fast_threshold: 4.0,
+            slow_window: 12,
+            slow_threshold: 2.0,
+        }
+    }
+
+    /// The data-plane latency SLO: 95% of completed requests come from
+    /// regions meeting the paper's 1-second response SLA, same windows.
+    pub fn latency() -> Self {
+        SloSpec {
+            name: "latency",
+            objective: 0.95,
+            fast_window: 3,
+            fast_threshold: 4.0,
+            slow_window: 12,
+            slow_threshold: 2.0,
+        }
+    }
+
+    /// Sanity-checks the definition.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.objective > 0.0 && self.objective < 1.0) {
+            return Err(format!("{}: objective must be in (0,1)", self.name));
+        }
+        if self.fast_window == 0 || self.slow_window < self.fast_window {
+            return Err(format!(
+                "{}: need 0 < fast_window <= slow_window",
+                self.name
+            ));
+        }
+        if self.fast_threshold < self.slow_threshold {
+            return Err(format!(
+                "{}: fast threshold must be >= slow threshold",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A state transition returned by [`BurnRateMonitor::observe`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SloTransition {
+    /// Both windows crossed their thresholds; the monitor is now firing.
+    Fired {
+        /// Fast-window burn rate at the crossing.
+        fast_burn: f64,
+        /// Slow-window burn rate at the crossing.
+        slow_burn: f64,
+    },
+    /// The fast window fell back under burn 1; the monitor cleared.
+    Recovered {
+        /// Fast-window burn rate at recovery.
+        fast_burn: f64,
+    },
+}
+
+/// Evaluates one SLO's multi-window burn rate over a ring of per-era
+/// `(good, total)` observations.
+#[derive(Debug, Clone)]
+pub struct BurnRateMonitor {
+    spec: SloSpec,
+    ring: VecDeque<(u64, u64)>,
+    firing: bool,
+}
+
+impl BurnRateMonitor {
+    /// A monitor for `spec` (panics on an invalid spec — specs are code,
+    /// not user input).
+    pub fn new(spec: SloSpec) -> Self {
+        spec.validate().expect("invalid SLO spec");
+        BurnRateMonitor {
+            spec,
+            ring: VecDeque::with_capacity(spec.slow_window),
+            firing: false,
+        }
+    }
+
+    /// The monitored SLO.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Whether the monitor is currently firing.
+    pub fn firing(&self) -> bool {
+        self.firing
+    }
+
+    /// Burn rate over the most recent `window` observations (fewer if
+    /// the ring has not filled yet; 0 when nothing was requested).
+    pub fn burn_over(&self, window: usize) -> f64 {
+        let take = window.min(self.ring.len());
+        let mut good = 0u64;
+        let mut total = 0u64;
+        for &(g, t) in self.ring.iter().rev().take(take) {
+            good += g;
+            total += t;
+        }
+        if total == 0 {
+            return 0.0;
+        }
+        let err = 1.0 - good as f64 / total as f64;
+        err / (1.0 - self.spec.objective)
+    }
+
+    /// Feeds one era's `(good, total)` outcome and returns a transition
+    /// when the firing state changes. The fast window must be full
+    /// before the monitor can fire (no alerting off one sample).
+    pub fn observe(&mut self, good: u64, total: u64) -> Option<SloTransition> {
+        if self.ring.len() == self.spec.slow_window {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((good.min(total), total));
+        let fast_burn = self.burn_over(self.spec.fast_window);
+        let slow_burn = self.burn_over(self.spec.slow_window);
+        if !self.firing
+            && self.ring.len() >= self.spec.fast_window
+            && fast_burn >= self.spec.fast_threshold
+            && slow_burn >= self.spec.slow_threshold
+        {
+            self.firing = true;
+            return Some(SloTransition::Fired {
+                fast_burn,
+                slow_burn,
+            });
+        }
+        if self.firing && fast_burn < 1.0 {
+            self.firing = false;
+            return Some(SloTransition::Recovered { fast_burn });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec {
+            name: "test",
+            objective: 0.95,
+            fast_window: 3,
+            fast_threshold: 4.0,
+            slow_window: 12,
+            slow_threshold: 2.0,
+        }
+    }
+
+    #[test]
+    fn healthy_stream_never_fires() {
+        let mut m = BurnRateMonitor::new(spec());
+        for _ in 0..50 {
+            assert_eq!(m.observe(100, 100), None);
+        }
+        assert!(!m.firing());
+        assert_eq!(m.burn_over(3), 0.0);
+    }
+
+    #[test]
+    fn outage_fires_then_recovers_after_clean_eras() {
+        let mut m = BurnRateMonitor::new(spec());
+        for _ in 0..12 {
+            m.observe(2, 2); // fill the slow window healthy
+        }
+        // 50% error rate = burn 10 against a 5% budget.
+        assert_eq!(m.observe(1, 2), None, "one bad era: slow window holds");
+        assert_eq!(m.observe(1, 2), None);
+        let fired = m.observe(1, 2);
+        match fired {
+            Some(SloTransition::Fired {
+                fast_burn,
+                slow_burn,
+            }) => {
+                assert!((fast_burn - 10.0).abs() < 1e-9, "fast {fast_burn}");
+                assert!(slow_burn >= 2.0, "slow {slow_burn}");
+            }
+            other => panic!("expected Fired, got {other:?}"),
+        }
+        assert!(m.firing());
+        // Still burning: no duplicate transition.
+        assert_eq!(m.observe(1, 2), None);
+        // Three clean eras flush the fast window below burn 1.
+        assert_eq!(m.observe(2, 2), None);
+        assert_eq!(m.observe(2, 2), None);
+        match m.observe(2, 2) {
+            Some(SloTransition::Recovered { fast_burn }) => {
+                assert_eq!(fast_burn, 0.0);
+            }
+            other => panic!("expected Recovered, got {other:?}"),
+        }
+        assert!(!m.firing());
+    }
+
+    #[test]
+    fn short_blip_does_not_fire() {
+        let mut m = BurnRateMonitor::new(spec());
+        for _ in 0..12 {
+            m.observe(20, 20);
+        }
+        // One era at 50% error: fast window (3 eras) averages burn 10/3
+        // < 4, slow window far below 2.
+        assert_eq!(m.observe(10, 20), None);
+        for _ in 0..10 {
+            assert_eq!(m.observe(20, 20), None);
+        }
+        assert!(!m.firing());
+    }
+
+    #[test]
+    fn cannot_fire_before_fast_window_fills() {
+        let mut m = BurnRateMonitor::new(spec());
+        assert_eq!(m.observe(0, 2), None, "one sample is not an alert");
+        assert_eq!(m.observe(0, 2), None);
+        assert!(matches!(m.observe(0, 2), Some(SloTransition::Fired { .. })));
+    }
+
+    #[test]
+    fn zero_total_eras_are_neutral() {
+        let mut m = BurnRateMonitor::new(spec());
+        for _ in 0..20 {
+            assert_eq!(m.observe(0, 0), None);
+        }
+        assert_eq!(m.burn_over(12), 0.0);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        assert!(SloSpec {
+            objective: 1.0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(SloSpec {
+            objective: 0.0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(SloSpec {
+            fast_window: 0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(SloSpec {
+            slow_window: 2,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(SloSpec {
+            fast_threshold: 1.0,
+            ..spec()
+        }
+        .validate()
+        .is_err());
+        assert!(SloSpec::availability().validate().is_ok());
+        assert!(SloSpec::latency().validate().is_ok());
+    }
+}

@@ -18,7 +18,7 @@
 
 use crate::graph::{LinkId, NodeId};
 use crate::transport::Transport;
-use acm_obs::{Counter, Hist, Obs, ObsHandle, Value};
+use acm_obs::{Counter, Hist, Obs, ObsHandle, TraceContext, Value};
 use acm_sim::rng::SimRng;
 use acm_sim::time::{Duration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -275,6 +275,9 @@ pub struct ChaosLayer {
     rng: SimRng,
     /// Open partitions and the exact links each one cut.
     open_partitions: Vec<(Vec<NodeId>, Vec<LinkId>)>,
+    /// Root span of the most recently applied fault (tracing hubs only):
+    /// the causal anchor downstream suspicion/quarantine chains hang off.
+    last_ctx: Option<TraceContext>,
     hub: ObsHandle,
     ctr_faults: Counter,
     ctr_msg_drops: Counter,
@@ -294,6 +297,7 @@ impl ChaosLayer {
             message: plan.message,
             rng: SimRng::new(plan.seed),
             open_partitions: Vec::new(),
+            last_ctx: None,
             hub: Obs::noop(),
             ctr_faults: Counter::default(),
             ctr_msg_drops: Counter::default(),
@@ -365,30 +369,30 @@ impl ChaosLayer {
         match &ev.action {
             FaultAction::FailLink(a, b) => {
                 transport.fail_link(*a, *b);
-                self.emit(t_us, "chaos.link.fail", *a, Some(*b));
+                self.emit_node_fault(t_us, "chaos.link.fail", *a, Some(*b));
             }
             FaultAction::RecoverLink(a, b) => {
                 transport.recover_link(*a, *b);
-                self.emit(t_us, "chaos.link.recover", *a, Some(*b));
+                self.emit_node_fault(t_us, "chaos.link.recover", *a, Some(*b));
             }
             FaultAction::CrashNode(n) => {
                 transport.fail_node(*n);
-                self.emit(t_us, "chaos.node.crash", *n, None);
+                self.emit_node_fault(t_us, "chaos.node.crash", *n, None);
             }
             FaultAction::RecoverNode(n) => {
                 transport.recover_node(*n);
-                self.emit(t_us, "chaos.node.recover", *n, None);
+                self.emit_node_fault(t_us, "chaos.node.recover", *n, None);
             }
             FaultAction::KillLeader => {
                 transport.fail_node(leader);
-                self.emit(t_us, "chaos.leader.kill", leader, None);
+                self.emit_node_fault(t_us, "chaos.leader.kill", leader, None);
             }
             FaultAction::Partition(group) => {
                 let cut = self.cut_links(transport, group);
                 for l in &cut {
                     transport.fail_link(l.a, l.b);
                 }
-                self.hub.emit(
+                self.emit_fault(
                     t_us,
                     "chaos.partition",
                     vec![
@@ -412,7 +416,7 @@ impl ChaosLayer {
                     for l in &cut {
                         transport.recover_link(l.a, l.b);
                     }
-                    self.hub.emit(
+                    self.emit_fault(
                         t_us,
                         "chaos.heal",
                         vec![
@@ -444,12 +448,31 @@ impl ChaosLayer {
         cut
     }
 
-    fn emit(&self, t_us: u64, kind: &'static str, n: NodeId, peer: Option<NodeId>) {
+    fn emit_node_fault(&mut self, t_us: u64, kind: &'static str, n: NodeId, peer: Option<NodeId>) {
         let mut fields = vec![("node", Value::U64(u64::from(n.0)))];
         if let Some(p) = peer {
             fields.push(("peer", Value::U64(u64::from(p.0))));
         }
-        self.hub.emit(t_us, kind, fields);
+        self.emit_fault(t_us, kind, fields);
+    }
+
+    /// Emits one fault event. On a tracing hub the event opens a *root*
+    /// span (faults are first causes, they have no parent) and the
+    /// context is retained so the control loop can hang suspicion and
+    /// quarantine chains off the most recent fault; on a plain hub this
+    /// is byte-identical to `hub.emit`.
+    fn emit_fault(&mut self, t_us: u64, kind: &'static str, fields: Vec<(&'static str, Value)>) {
+        self.last_ctx = self
+            .hub
+            .emit_caused(t_us, kind, fields, None)
+            .or(self.last_ctx);
+    }
+
+    /// Root span of the most recently applied fault, if the hub traces.
+    /// Persists across eras on purpose: an unhealed partition from era
+    /// 10 is still the cause of report losses in era 15.
+    pub fn last_trace_ctx(&self) -> Option<TraceContext> {
+        self.last_ctx
     }
 
     /// Decides the fate of one routable control-plane message. Draws from
@@ -708,5 +731,36 @@ mod tests {
             vec!["chaos.partition", "chaos.heal", "chaos.leader.kill"]
         );
         assert_eq!(obs.counter("acm.overlay.chaos.faults").value(), 3);
+        assert!(layer.last_trace_ctx().is_none(), "plain hub opens no spans");
+    }
+
+    #[test]
+    fn traced_faults_open_root_spans_and_retain_the_last_context() {
+        let obs = Obs::new(acm_obs::ObsConfig::traced(0xfa11));
+        let plan = FaultPlan::scripted(3, Vec::new())
+            .partition_window(vec![n(2)], t(10), t(20))
+            .kill_leader_at(t(30));
+        let mut layer = ChaosLayer::new(&plan);
+        layer.set_obs(&obs);
+        let mut tr = transport();
+        layer.apply_due(t(40), &mut tr, n(0));
+
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 3, "one span per fault");
+        for s in &spans {
+            assert_eq!(s.parent, 0, "faults are first causes (root spans)");
+            assert_eq!(s.trace, s.id, "roots start their own trace");
+        }
+        let last = layer.last_trace_ctx().expect("tracing hub keeps context");
+        assert_eq!(last.span, spans[2].id, "context tracks the latest fault");
+        // Every chaos event carries its span id.
+        for ev in obs.events_tail(10) {
+            let span = ev
+                .fields
+                .iter()
+                .find(|(k, _)| *k == "span")
+                .expect("traced fault events carry a span field");
+            assert!(matches!(span.1, Value::U64(v) if v != 0));
+        }
     }
 }

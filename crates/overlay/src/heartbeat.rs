@@ -135,6 +135,14 @@ impl FailureDetector {
         self.suspected.contains(&peer)
     }
 
+    /// How long `peer` has been silent at `now` (zero if heard in the
+    /// future, `None` for an unknown peer). Diagnostic companion to
+    /// [`FailureDetector::check`] — lets callers report *how stale* a
+    /// suspicion is, not just that it happened.
+    pub fn silent_for(&self, peer: NodeId, now: SimTime) -> Option<Duration> {
+        self.last_heard.get(&peer).map(|&h| now.saturating_since(h))
+    }
+
     /// Currently trusted peers.
     pub fn trusted(&self) -> Vec<NodeId> {
         self.last_heard
@@ -203,6 +211,15 @@ mod tests {
             assert!(fd.check(t(s + 4)).is_empty());
         }
         assert_eq!(fd.transitions(), 0);
+    }
+
+    #[test]
+    fn silent_for_reports_the_silence_age() {
+        let mut fd = FailureDetector::new(cfg(), [n(1)], t(0));
+        fd.record_heartbeat(n(1), t(10));
+        assert_eq!(fd.silent_for(n(1), t(25)), Some(Duration::from_secs(15)));
+        assert_eq!(fd.silent_for(n(1), t(5)), Some(Duration::ZERO), "saturates");
+        assert_eq!(fd.silent_for(n(9), t(25)), None, "unknown peer");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! tests against an immediate-delivery simulator run.
 
 use crate::graph::NodeId;
+use acm_obs::TraceContext;
 use acm_sim::time::{Duration, SimTime};
 
 /// One staged cross-shard message: routing envelope plus the delivery
@@ -30,6 +31,10 @@ pub struct StagedMessage<P> {
     pub sent_at: SimTime,
     /// Route latency plus any chaos-injected extra delay.
     pub delay: Duration,
+    /// Causal trace context piggybacked on the message, so receivers on
+    /// other shards can parent their reactions to the sender's span.
+    /// `None` when tracing is off — the common case.
+    pub ctx: Option<TraceContext>,
     /// Message body.
     pub payload: P,
 }
@@ -160,6 +165,7 @@ mod tests {
                 to: leader,
                 sent_at: sim.now(),
                 delay,
+                ctx: None,
                 payload: from.0 * 100 + k as u32,
             });
         }
@@ -183,6 +189,7 @@ mod tests {
                 to: n(0),
                 sent_at: SimTime::ZERO,
                 delay: ms(5),
+                ctx: None,
                 payload,
             });
         };
@@ -216,8 +223,29 @@ mod tests {
             to: n(1),
             sent_at: SimTime::from_secs(10),
             delay: ms(250),
+            ctx: None,
             payload: (),
         };
         assert_eq!(m.deliver_at(), SimTime::from_secs(10) + ms(250));
+    }
+
+    #[test]
+    fn trace_context_survives_staging_and_drain() {
+        let ctx = TraceContext {
+            trace: 0xdead_beef,
+            span: 0x42,
+        };
+        let mut obs = [ShardOutbox::new(0), ShardOutbox::new(1)];
+        obs[1].push(StagedMessage {
+            from: n(1),
+            to: n(0),
+            sent_at: SimTime::ZERO,
+            delay: ms(5),
+            ctx: Some(ctx),
+            payload: 7u32,
+        });
+        let merged = drain_in_shard_order(&mut obs);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].ctx, Some(ctx), "context rides the message");
     }
 }

@@ -151,6 +151,35 @@ impl DriftMonitor {
     pub fn drifted(&self) -> bool {
         self.filled >= self.min_samples && self.miss_rate() > self.miss_bound
     }
+
+    /// [`DriftMonitor::record`] plus causal instrumentation: when this
+    /// observation flips the monitor into the drifted state on a tracing
+    /// hub, a root `drift.signal` span/event is opened (drift is a first
+    /// cause, like a fault) and its context returned so retraining can be
+    /// chained off it. Inert on non-tracing hubs — the event stream stays
+    /// byte-identical to an untraced run.
+    pub fn record_with_obs(
+        &mut self,
+        reactive: bool,
+        obs: &acm_obs::ObsHandle,
+        t_us: u64,
+        region: &str,
+    ) -> Option<acm_obs::TraceContext> {
+        let was_drifted = self.drifted();
+        self.record(reactive);
+        if !was_drifted && self.drifted() && obs.trace_enabled() {
+            return obs.emit_caused(
+                t_us,
+                "drift.signal",
+                vec![
+                    ("region", acm_obs::Value::from(region.to_string())),
+                    ("miss_rate", acm_obs::Value::from(self.miss_rate())),
+                ],
+                None,
+            );
+        }
+        None
+    }
 }
 
 #[cfg(test)]

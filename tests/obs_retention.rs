@@ -21,6 +21,7 @@ fn early_decisions_survive_a_long_run_under_a_tight_event_budget() {
     cfg.obs = ObsConfig {
         enabled: true,
         event_capacity: 64, // per kind: 16 pinned head + 48-slot tail ring
+        ..ObsConfig::default()
     };
     let obs = Obs::new(cfg.obs);
     let _ = run_experiment_with_obs(&cfg, obs.clone());
