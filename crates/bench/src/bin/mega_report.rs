@@ -11,11 +11,14 @@
 //!   the run replays byte-identically (telemetry CSV + decision log,
 //!   chaos included) at 1 and 4 worker threads.
 //! * **Data plane** — per-shard discrete-event worlds fed by open-loop
-//!   arrival generators ([`OpenLoopArrivals`], deterministic pre-split
-//!   streams) with per-shard chaos lenses deciding each request's fate.
+//!   arrival generators (deterministic pre-split streams) in which every
+//!   request is individually routed to a region by a per-shard
+//!   weighted-P2C router lens (latency-aware scoring, era-barrier plan
+//!   swaps including a quarantine), then passed through a chaos lens.
 //!   Reports aggregate events/s at 1/2/4 threads, the 4-thread speedup,
-//!   the event-queue arena-reuse counter, and checks the per-shard
-//!   outcome digests are identical at every width.
+//!   the event-queue arena-reuse counter, routing decisions/s, and
+//!   checks the per-shard outcome digests — per-region routed counts
+//!   included — are identical at every width.
 //!
 //! ```text
 //! cargo run --release -p acm-bench --bin mega_report [-- --smoke]
@@ -30,12 +33,12 @@
 use acm_core::config::{ExperimentConfig, PredictorChoice, RegionSpec};
 use acm_core::policy::PolicyKind;
 use acm_core::{ControlLoop, DegradationConfig};
-use acm_overlay::{ChaosLayer, FaultPlan, MessageFate, NodeId};
+use acm_overlay::FaultPlan;
 use acm_pcam::{RttfSource, Vmc};
+use acm_router::{run_routed_plane, PlanStep, PlaneOutcome, RoutedPlaneConfig};
 use acm_sim::rng::SimRng;
-use acm_sim::shard::{ShardLayout, ShardedWorld};
 use acm_sim::time::{Duration, SimTime};
-use acm_workload::{ClientSchedule, OpenLoopArrivals, RateProfile, THINK_TIME_MEAN_S};
+use acm_workload::ClientSchedule;
 use std::time::Instant;
 
 /// Era length of the control-plane deployment (seconds).
@@ -81,6 +84,7 @@ struct Scale {
     clients_per_region: u32,
     control_eras: usize,
     data_shards: usize,
+    data_regions: usize,
     data_browsers: u64,
     data_eras: u64,
     data_era_s: u64,
@@ -93,6 +97,7 @@ impl Scale {
             clients_per_region: 5_120, // 200 x 5120 = 1,024,000 browsers
             control_eras: 15,
             data_shards: 16,
+            data_regions: 64,
             data_browsers: 1 << 20, // 1,048,576 emulated browsers
             data_eras: 3,
             data_era_s: 10,
@@ -105,6 +110,7 @@ impl Scale {
             clients_per_region: 512,
             control_eras: 8,
             data_shards: 8,
+            data_regions: 16,
             data_browsers: 1 << 18,
             data_eras: 2,
             data_era_s: 10,
@@ -223,128 +229,42 @@ fn control_plane_scenario(report: &mut Report, scale: &Scale) {
     );
 }
 
-/// One shard's slice of the data plane: its arrival stream, chaos lens,
-/// service-time RNG and outcome counters.
-struct DataWorld {
-    arrivals: OpenLoopArrivals,
-    chaos: ChaosLayer,
-    service: SimRng,
-    buf: Vec<SimTime>,
-    accepted: u64,
-    dropped: u64,
-    completed: u64,
-    chaos_delay_us: u64,
-}
-
-struct DataOutcome {
-    executed: u64,
-    wall_s: f64,
-    arena_reuse: u64,
-    /// Per-shard `(accepted, dropped, completed, chaos_delay_us)`, in
-    /// shard-index order — the width-independence digest.
-    digest: Vec<(u64, u64, u64, u64)>,
-}
-
-/// Runs the open-loop data plane once on the current pool width.
-fn run_data(scale: &Scale) -> DataOutcome {
-    let shards = scale.data_shards;
-    // Closed-loop equivalence: N browsers with 7 s mean think time offer
-    // N / Z arrivals per second; each shard carries an equal slice as a
-    // flash-crowd profile swinging around that mean.
-    let rate = scale.data_browsers as f64 / THINK_TIME_MEAN_S / shards as f64;
-    let profile = RateProfile::Burst {
-        base: rate * 0.7,
-        peak: rate * 1.7,
-        period: Duration::from_secs(7),
-        burst_len: Duration::from_secs(2),
-    };
-    let mut rng = SimRng::new(77);
-    let mut arrivals = OpenLoopArrivals::pre_split(&profile, shards, &mut rng);
-    let plan =
-        FaultPlan::scripted(13, Vec::new()).with_message_chaos(0.02, Duration::from_millis(5));
-    let mut lenses = ChaosLayer::new(&plan).pre_split(shards);
-    let mut services: Vec<SimRng> = (0..shards).map(|_| rng.split()).collect();
-
-    let mut worlds: Vec<Option<DataWorld>> = (0..shards)
-        .map(|_| {
-            Some(DataWorld {
-                arrivals: arrivals.remove(0),
-                chaos: lenses.remove(0),
-                service: services.remove(0),
-                buf: Vec::new(),
-                accepted: 0,
-                dropped: 0,
-                completed: 0,
-                chaos_delay_us: 0,
-            })
-        })
-        .collect();
-    let mut world = ShardedWorld::new(ShardLayout::balanced(shards, shards), &mut rng, |s, _| {
-        worlds[s].take().expect("one world per shard")
-    });
-    let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
-    for shard in world.shards_mut() {
-        shard.sim.set_obs(&obs);
-    }
-
-    let start = Instant::now();
-    for era in 0..scale.data_eras {
-        let era_start = SimTime::from_secs(era * scale.data_era_s);
-        let era_end = SimTime::from_secs((era + 1) * scale.data_era_s);
-        world.step_era(|shard| {
-            let from = NodeId(shard.index as u32);
-            let to = NodeId(shard.index as u32 + 1_000_000);
-            let mut buf = std::mem::take(&mut shard.sim.world.buf);
-            shard
-                .sim
-                .world
-                .arrivals
-                .fill_window(era_start, era_end, &mut buf);
-            for &at in &buf {
-                shard.sim.schedule_at(at, move |s| {
-                    s.world.accepted += 1;
-                    match s.world.chaos.message_fate(s.now(), from, to) {
-                        MessageFate::Drop => s.world.dropped += 1,
-                        MessageFate::Deliver { extra_delay } => {
-                            s.world.chaos_delay_us += extra_delay.as_micros();
-                            let svc = Duration::from_secs_f64(s.world.service.exponential(0.2));
-                            let done = s.now() + svc + extra_delay;
-                            s.schedule_at(done, |s| s.world.completed += 1);
-                        }
-                    }
-                });
-            }
-            shard.sim.world.buf = buf;
-            shard.sim.run_until(era_end);
-        });
-    }
-    // Drain stragglers (completions scheduled past the last era end).
-    let horizon = SimTime::from_secs(scale.data_eras * scale.data_era_s) + Duration::from_secs(30);
-    world.step_era(|shard| {
-        shard.sim.run_until(horizon);
-    });
-    let wall_s = start.elapsed().as_secs_f64();
-
-    for shard in world.shards_mut() {
-        shard.sim.flush_obs();
-    }
-    DataOutcome {
-        executed: world.total_executed(),
-        wall_s,
-        arena_reuse: obs.counter("acm.sim.queue.arena_reuse").value(),
-        digest: world
-            .shards()
-            .iter()
-            .map(|s| {
-                let w = &s.sim.world;
-                (w.accepted, w.dropped, w.completed, w.chaos_delay_us)
-            })
-            .collect(),
-    }
+/// The routed data plane at mega scale: every arriving request is
+/// individually mapped to a region by a per-shard weighted-P2C router
+/// lens (latency feedback on), with a three-step plan schedule cycling
+/// at era barriers — a skewed plan, the same plan with one region
+/// quarantined, and the reversed skew — plus message chaos. The harness
+/// itself lives in `acm_router::plane` so benches and tests drive the
+/// exact same plane.
+fn run_data(scale: &Scale) -> PlaneOutcome {
+    let n = scale.data_regions;
+    let mut cfg = RoutedPlaneConfig::new(
+        n,
+        scale.data_shards,
+        scale.data_browsers,
+        scale.data_eras,
+        77,
+    );
+    cfg.era_s = scale.data_era_s;
+    // Skew region weights 3:2:1 cyclically (install normalises), then
+    // quarantine the last region, then reverse the skew.
+    let skew: Vec<f64> = (0..n).map(|i| (3 - (i % 3)) as f64).collect();
+    let mut masked_live = vec![true; n];
+    masked_live[n - 1] = false;
+    cfg.plans = vec![
+        PlanStep::all_live(skew.clone()),
+        PlanStep {
+            fractions: skew.clone(),
+            live: masked_live,
+        },
+        PlanStep::all_live(skew.into_iter().rev().collect()),
+    ];
+    run_routed_plane(&cfg)
 }
 
 fn data_plane_scenario(report: &mut Report, scale: &Scale, smoke: bool) {
     report.push("data_shards", scale.data_shards as f64);
+    report.push("data_regions", scale.data_regions as f64);
     report.push("data_browsers", scale.data_browsers as f64);
     report.push(
         "data_sim_horizon_s",
@@ -367,17 +287,26 @@ fn data_plane_scenario(report: &mut Report, scale: &Scale, smoke: bool) {
         match threads {
             1 => {
                 wall_1t = out.wall_s;
-                digest_1t = out.digest;
+                report.push("data_routing_decisions", out.decisions() as f64);
+                report.push(
+                    "data_routing_decisions_per_s",
+                    out.decisions() as f64 / out.wall_s,
+                );
+                report.gate(
+                    out.decisions() > 0,
+                    "data: the routed plane made zero routing decisions".to_string(),
+                );
                 report.push("data_arena_reuse_slots", out.arena_reuse as f64);
                 report.gate(
                     out.arena_reuse > 0,
                     "data: event-queue arenas were never reused across eras".to_string(),
                 );
+                digest_1t = out.digests;
             }
             4 => {
                 wall_4t = out.wall_s;
                 eps_4t = eps;
-                digest_4t = out.digest;
+                digest_4t = out.digests;
             }
             _ => {}
         }
@@ -424,7 +353,7 @@ fn main() {
     );
     println!("control plane: sharded MONITOR at deployment scale");
     control_plane_scenario(&mut report, &scale);
-    println!("\ndata plane: open-loop arrivals on sharded event queues");
+    println!("\ndata plane: per-request weighted-P2C routing on sharded event queues");
     data_plane_scenario(&mut report, &scale, smoke);
 
     let json = report.to_json();

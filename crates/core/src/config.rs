@@ -21,6 +21,7 @@ use acm_ml::model::ModelKind;
 use acm_obs::ObsConfig;
 use acm_overlay::{FaultPlan, NodeId};
 use acm_pcam::RegionConfig;
+use acm_router::LatencyAwareness;
 use acm_sim::time::{Duration, SimTime};
 use acm_vm::VmFlavor;
 use acm_workload::{ClientSchedule, RegionWorkload, TpcwMix};
@@ -112,6 +113,9 @@ pub struct ExperimentConfig {
     /// on-but-cheap; instruments never feed back into the simulation, so a
     /// run's telemetry is byte-identical with observability on or off.
     pub obs: ObsConfig,
+    /// Latency-aware scoring knobs of the request-routing data plane
+    /// (minimum-measurement eligibility, exclusion threshold, EWMA decay).
+    pub router: LatencyAwareness,
 }
 
 impl ExperimentConfig {
@@ -181,6 +185,7 @@ impl ExperimentConfig {
             scenario: Scenario::none(),
             mix: TpcwMix::Shopping,
             obs: ObsConfig::default(),
+            router: LatencyAwareness::default(),
         }
     }
 
@@ -222,6 +227,7 @@ impl ExperimentConfig {
             scenario: Scenario::none(),
             mix: TpcwMix::Shopping,
             obs: ObsConfig::default(),
+            router: LatencyAwareness::default(),
         }
     }
 
@@ -270,6 +276,7 @@ impl ExperimentConfig {
         }
         self.scenario.validate(self.regions.len())?;
         self.obs.validate()?;
+        self.router.validate()?;
         Ok(())
     }
 }

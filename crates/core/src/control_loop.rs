@@ -35,6 +35,7 @@ use acm_overlay::{
     Transport,
 };
 use acm_pcam::{DriftMonitor, RegionEraReport, Vmc};
+use acm_router::RequestRouter;
 use acm_sim::rng::SimRng;
 use acm_sim::shard::ShardLayout;
 use acm_sim::time::{Duration, SimTime};
@@ -94,6 +95,10 @@ pub struct ControlLoop {
     /// Report-age / quarantine state machine (degradation only).
     tracker: Option<HealthTracker>,
     scenario: Scenario,
+    /// Request-routing data plane kept in lock-step with the installed
+    /// plan: every install (fresh or frozen-with-quarantine) rebuilds the
+    /// router's weight table with quarantined regions masked to zero.
+    router: RequestRouter,
     rng: SimRng,
     telemetry: ExperimentTelemetry,
     obs: ObsHandle,
@@ -202,6 +207,14 @@ impl ControlLoop {
             vmc.set_obs(obs.clone());
         }
 
+        // RNG split order is load-bearing: the loop's own stream takes
+        // the first split, exactly as before the router existed, so
+        // pre-router runs replay byte-identically; the router's dedicated
+        // stream is the second split.
+        let loop_rng = rng.split();
+        let mut router = RequestRouter::new(n, cfg.router, rng.split());
+        router.set_obs(&obs);
+
         ControlLoop {
             era: cfg.era,
             now: SimTime::ZERO,
@@ -226,7 +239,8 @@ impl ControlLoop {
             detector,
             tracker,
             scenario: cfg.scenario.clone(),
-            rng: rng.split(),
+            router,
+            rng: loop_rng,
             telemetry: ExperimentTelemetry::new(names),
             obs_cfg: cfg.obs,
             vmcs,
@@ -262,6 +276,16 @@ impl ControlLoop {
     /// The observability instance the loop records into.
     pub fn obs(&self) -> &ObsHandle {
         &self.obs
+    }
+
+    /// The request-routing data plane under the installed plan.
+    pub fn router(&self) -> &RequestRouter {
+        &self.router
+    }
+
+    /// Mutable router access (route requests, split per-shard lenses).
+    pub fn router_mut(&mut self) -> &mut RequestRouter {
+        &mut self.router
     }
 
     /// Current simulated time.
@@ -527,6 +551,9 @@ impl ControlLoop {
             if let Some(ev) = event {
                 if let HealthEvent::Readmitted = ev {
                     self.estimators[j] = RmttfEwma::new(self.beta);
+                    // Same hygiene for the data plane: the region rejoins
+                    // with no latency history, not its pre-outage one.
+                    self.router.reset_latency(j);
                 }
                 if self.obs.enabled() {
                     let is_quarantine = matches!(ev, HealthEvent::Quarantined { .. });
@@ -925,12 +952,13 @@ impl ControlLoop {
         // The plan decision chains off this era's health transition when
         // one happened (quarantine/readmit re-planning), else off the era.
         let plan_parent = self.trace_health_ctx.or(self.trace_era_ctx);
+        let mut install_ctx = None;
         if installable {
             if self.obs.enabled() {
                 let fmt = |fs: &[f64]| {
                     acm_obs::json::array(fs.iter().map(|f| acm_obs::json::fmt_f64(*f)))
                 };
-                self.obs.emit_caused(
+                install_ctx = self.obs.emit_caused(
                     t_end.as_micros(),
                     "plan.install",
                     vec![
@@ -942,7 +970,7 @@ impl ControlLoop {
             }
             self.fractions = target;
         } else if self.degradation.enabled && self.obs.enabled() {
-            self.obs.emit_caused(
+            install_ctx = self.obs.emit_caused(
                 t_end.as_micros(),
                 "plan.freeze",
                 vec![
@@ -952,6 +980,42 @@ impl ControlLoop {
                 plan_parent.or(self.trace_fault_ctx),
             );
         }
+
+        // Data-plane sync: rebuild the router's weight table from the
+        // fractions now in force — the freshly installed plan, or the
+        // frozen one with this era's quarantine mask applied — in one
+        // atomic double-buffered swap. Quarantined regions carry zero
+        // weight and become structurally unsampleable.
+        let routed_live = self.degradation.enabled.then_some(live_mask.as_slice());
+        let swapped = self.router.install(&self.fractions, routed_live);
+        if swapped && self.obs.enabled() {
+            self.obs.emit_caused(
+                t_end.as_micros(),
+                "router.replan",
+                vec![
+                    ("epoch", Value::from(self.router.epoch())),
+                    (
+                        "live",
+                        Value::from(live_mask.iter().filter(|l| **l).count()),
+                    ),
+                    (
+                        "support",
+                        Value::from(self.router.shares().iter().filter(|s| **s > 0.0).count()),
+                    ),
+                ],
+                install_ctx.or(plan_parent),
+            );
+        }
+        // Routed outcomes feed the latency scorer: each region's
+        // completion-weighted mean response this era is one decayed
+        // sample (regions that completed nothing contribute no signal).
+        for j in 0..n {
+            if reports[j].completed > 0 && reports[j].mean_response_s > 0.0 {
+                self.router
+                    .record_latency(j, Duration::from_secs_f64(reports[j].mean_response_s));
+            }
+        }
+        self.router.publish();
 
         // Autoscaling (Alg. 3 lines 6–8).
         for j in 0..n {
@@ -1404,6 +1468,60 @@ mod tests {
         // Plans keep installing on the live subset (no global freeze).
         let installs = events.iter().filter(|e| e.kind == "plan.install").count();
         assert!(installs >= 25, "installs continued: {installs}");
+    }
+
+    #[test]
+    fn router_tracks_plan_installs_and_masks_quarantined_regions() {
+        let mut cfg = fig3_cfg(PolicyKind::AvailableResources);
+        cfg.degradation = crate::degrade::DegradationConfig::enabled();
+        cfg.fault_plan = Some(
+            acm_overlay::FaultPlan::scripted(5, Vec::new()).partition_window(
+                vec![NodeId(1)],
+                SimTime::from_secs(300),
+                SimTime::from_secs(100_000), // never heals inside the run
+            ),
+        );
+        let mut cl = oracle_loop(&cfg);
+        cl.run(30);
+        // The data plane mirrors the control plane's installed fractions:
+        // the quarantined region has zero weight and is unsampleable.
+        assert_eq!(cl.router().shares()[1], 0.0, "quarantined weight");
+        for _ in 0..10_000 {
+            assert_eq!(cl.router_mut().route(), 0, "routed to quarantined");
+        }
+        let events = cl.obs().events_tail(usize::MAX);
+        let replans = events.iter().filter(|e| e.kind == "router.replan").count();
+        assert_eq!(replans, 30, "one weight-table swap per era");
+        // Era-grain mean responses fed the scorer for the live region.
+        assert!(cl.router().scorer().count(0) > 0, "scorer got outcomes");
+        assert_eq!(
+            cl.obs().counter("acm.router.replans").value(),
+            30,
+            "published counters track the installs"
+        );
+    }
+
+    #[test]
+    fn router_replan_events_carry_trace_context() {
+        let mut cfg = fig3_cfg(PolicyKind::AvailableResources);
+        cfg.obs = acm_obs::ObsConfig::traced(2026);
+        let mut cl = oracle_loop(&cfg);
+        cl.run(3);
+        let events = cl.obs().events_tail(usize::MAX);
+        let replans: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == "router.replan")
+            .collect();
+        assert_eq!(replans.len(), 3);
+        for e in replans {
+            let field = |k: &str| e.fields.iter().find(|(n, _)| *n == k);
+            assert!(field("trace").is_some(), "replan missing trace id");
+            // Each replan chains off the plan.install that triggered it.
+            match field("cause") {
+                Some((_, Value::U64(cause))) => assert_ne!(*cause, 0, "replan has no cause"),
+                other => panic!("unexpected cause field: {other:?}"),
+            }
+        }
     }
 
     #[test]

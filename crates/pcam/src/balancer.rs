@@ -7,6 +7,7 @@
 //! VM a share of the region's arrival rate.
 
 use acm_sim::time::SimTime;
+use acm_sim::weights::WeightTable;
 use acm_vm::Vm;
 use serde::{Deserialize, Serialize};
 
@@ -39,7 +40,10 @@ impl BalancerStrategy {
     ///
     /// `rttf_of` supplies the health signal for [`BalancerStrategy::HealthWeighted`]; it is a
     /// closure so callers can plug either the ground truth or the ML
-    /// prediction without the balancer knowing which.
+    /// prediction without the balancer knowing which. Normalisation runs
+    /// through [`WeightTable::normalize`] — the same audited primitive the
+    /// request router samples from — so balancer shares and routed flow
+    /// agree on weight arithmetic.
     pub fn shares<F>(self, vms: &[&Vm], now: SimTime, lambda_hint: f64, rttf_of: F) -> Vec<f64>
     where
         F: Fn(&Vm) -> f64,
@@ -67,8 +71,7 @@ impl BalancerStrategy {
                 })
                 .collect(),
         };
-        let total: f64 = raw.iter().sum();
-        raw.iter().map(|w| w / total).collect()
+        WeightTable::normalize(&raw)
     }
 }
 

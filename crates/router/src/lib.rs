@@ -1,0 +1,41 @@
+//! Line-rate request-routing data plane for the ACM reproduction.
+//!
+//! The control plane (the MAPE loop in `acm-core`) plans *fractions*: a
+//! share `f_i` of global client flow for every region, refreshed each
+//! era. This crate is the data plane underneath that plan — the
+//! per-request decision "which region serves *this* request", taken tens
+//! of millions of times per second:
+//!
+//! * [`router`] — [`RequestRouter`]: weighted power-of-two-choices over
+//!   the planned fractions. Two candidates drawn from a prebuilt
+//!   alias-method [`WeightTable`], the latency score picks the winner.
+//!   Allocation-free after warm-up; plans swap in atomically via a
+//!   double-buffered table; quarantined regions carry zero weight and
+//!   are *structurally* unsampleable.
+//! * [`latency`] — [`LatencyScorer`]: decaying per-region latency
+//!   estimates with minimum-measurement eligibility and an exclusion
+//!   threshold relative to the fastest region (the scyllapy
+//!   `LatencyAwareness` design), compiled down to one prebuilt `f64`
+//!   key per region so the hot loop never walks the region list.
+//! * [`plane`] — [`run_routed_plane`]: the sharded end-to-end harness
+//!   (open-loop arrivals → per-shard router lens → chaos lens →
+//!   region-dependent service → latency feedback) whose per-shard
+//!   digests are byte-identical at any `ACM_THREADS`.
+//!
+//! Determinism follows the repo-wide pre-split discipline: the router
+//! owns a dedicated [`SimRng`](acm_sim::rng::SimRng) stream and splits
+//! per-shard lenses in shard-index order, exactly like
+//! `ChaosLayer::pre_split`.
+//!
+//! [`WeightTable`]: acm_sim::weights::WeightTable
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod latency;
+pub mod plane;
+pub mod router;
+
+pub use latency::{LatencyAwareness, LatencyScorer};
+pub use plane::{run_routed_plane, PlanStep, PlaneOutcome, RoutedPlaneConfig, ShardDigest};
+pub use router::{RequestRouter, RouterStats};

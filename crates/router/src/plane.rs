@@ -1,0 +1,371 @@
+//! The routed data plane: open-loop arrivals × per-shard router lenses.
+//!
+//! [`run_routed_plane`] drives a sharded discrete-event world in which
+//! every arriving request is individually routed to a region by a
+//! per-shard [`RequestRouter`] lens, passed through a per-shard
+//! [`ChaosLayer`] lens, serviced with a region-dependent latency, and —
+//! when feedback is on — its completion latency folded back into the
+//! shard's latency scorer. Plan swaps happen at era barriers, applied to
+//! every lens in shard-index order.
+//!
+//! The harness exists once so the `mega_report` bench, the
+//! `router_report` bench and the byte-identity tests all exercise the
+//! *same* plane: per-shard outcome digests (including per-region routed
+//! counts) must be identical at any `ACM_THREADS`, because every source
+//! of randomness — arrivals, chaos, routing, service times — is a
+//! pre-split stream and every barrier merge runs in shard-index order.
+
+use crate::latency::LatencyAwareness;
+use crate::router::RequestRouter;
+use acm_overlay::{ChaosLayer, FaultPlan, MessageFate, NodeId};
+use acm_sim::rng::SimRng;
+use acm_sim::shard::{ShardLayout, ShardedWorld};
+use acm_sim::time::{Duration, SimTime};
+use acm_workload::{OpenLoopArrivals, RateProfile, THINK_TIME_MEAN_S};
+use std::time::Instant;
+
+/// One plan the plane installs at an era barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// Planned flow fraction per region.
+    pub fractions: Vec<f64>,
+    /// Liveness mask; quarantined (`false`) regions get zero weight.
+    pub live: Vec<bool>,
+}
+
+impl PlanStep {
+    /// A plan with every region live.
+    pub fn all_live(fractions: Vec<f64>) -> Self {
+        let live = vec![true; fractions.len()];
+        PlanStep { fractions, live }
+    }
+}
+
+/// Scale and behaviour knobs of the routed plane.
+#[derive(Debug, Clone)]
+pub struct RoutedPlaneConfig {
+    /// Regions routed over.
+    pub regions: usize,
+    /// Shards (and router/chaos lenses). Fixed by config, not threads.
+    pub shards: usize,
+    /// Emulated browser population (sets the open-loop arrival rate).
+    pub browsers: u64,
+    /// Era count.
+    pub eras: u64,
+    /// Era length, seconds.
+    pub era_s: u64,
+    /// Master seed of every pre-split stream.
+    pub seed: u64,
+    /// Latency-scorer knobs for the router lenses.
+    pub awareness: LatencyAwareness,
+    /// Message chaos (2 % drop, up to 5 ms extra delay) on/off.
+    pub chaos: bool,
+    /// Feed completion latencies back into the router lenses.
+    pub latency_feedback: bool,
+    /// Plans installed at era barriers, cycled (`plans[era % len]`).
+    /// Empty keeps the initial uniform table for the whole run.
+    pub plans: Vec<PlanStep>,
+    /// Mean service time per region, seconds (length `regions`). Distinct
+    /// means give the latency scorer real signal.
+    pub service_mean_s: Vec<f64>,
+}
+
+impl RoutedPlaneConfig {
+    /// A plane with the defaults the benches use: chaos and latency
+    /// feedback on, region `r` serving at mean `1 + r/2` seconds, no
+    /// plan schedule (callers push [`PlanStep`]s as needed).
+    pub fn new(regions: usize, shards: usize, browsers: u64, eras: u64, seed: u64) -> Self {
+        RoutedPlaneConfig {
+            regions,
+            shards,
+            browsers,
+            eras,
+            era_s: 10,
+            seed,
+            awareness: LatencyAwareness::default(),
+            chaos: true,
+            latency_feedback: true,
+            plans: Vec::new(),
+            service_mean_s: (0..regions).map(|r| 1.0 + r as f64 * 0.5).collect(),
+        }
+    }
+}
+
+/// One shard's width-independence digest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardDigest {
+    /// Requests that arrived on this shard.
+    pub accepted: u64,
+    /// Requests the chaos lens dropped.
+    pub dropped: u64,
+    /// Requests that completed service.
+    pub completed: u64,
+    /// Total extra delay the chaos lens injected, microseconds.
+    pub chaos_delay_us: u64,
+    /// Requests routed to each region by this shard's lens.
+    pub routed: Vec<u64>,
+}
+
+/// Aggregate outcome of one plane run.
+#[derive(Debug, Clone)]
+pub struct PlaneOutcome {
+    /// Simulator events executed across all shards.
+    pub executed: u64,
+    /// Wall-clock of the sharded run, seconds.
+    pub wall_s: f64,
+    /// Event-queue arena slots recycled across eras (all shards).
+    pub arena_reuse: u64,
+    /// Per-shard digests in shard-index order — byte-compare these
+    /// across thread widths.
+    pub digests: Vec<ShardDigest>,
+}
+
+impl PlaneOutcome {
+    /// Routing decisions summed over shards.
+    pub fn decisions(&self) -> u64 {
+        self.digests.iter().map(|d| d.accepted).sum()
+    }
+
+    /// Per-region routed totals summed over shards.
+    pub fn routed_totals(&self) -> Vec<u64> {
+        let regions = self.digests.first().map_or(0, |d| d.routed.len());
+        let mut out = vec![0u64; regions];
+        for d in &self.digests {
+            for (t, n) in out.iter_mut().zip(&d.routed) {
+                *t += n;
+            }
+        }
+        out
+    }
+
+    /// Realized flow fraction per region over the whole run.
+    pub fn realized_fractions(&self) -> Vec<f64> {
+        let total = self.decisions();
+        self.routed_totals()
+            .iter()
+            .map(|&n| {
+                if total == 0 {
+                    0.0
+                } else {
+                    n as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// One shard's slice of the plane.
+struct PlaneWorld {
+    arrivals: OpenLoopArrivals,
+    chaos: ChaosLayer,
+    router: RequestRouter,
+    service: SimRng,
+    service_mean_s: Vec<f64>,
+    latency_feedback: bool,
+    buf: Vec<SimTime>,
+    accepted: u64,
+    dropped: u64,
+    completed: u64,
+    chaos_delay_us: u64,
+}
+
+/// Runs the routed plane once on the current `acm-exec` pool width.
+pub fn run_routed_plane(cfg: &RoutedPlaneConfig) -> PlaneOutcome {
+    assert_eq!(
+        cfg.service_mean_s.len(),
+        cfg.regions,
+        "one service mean per region"
+    );
+    // Closed-loop equivalence: browsers / think-time arrivals per second,
+    // split evenly over the shards as a flash-crowd profile.
+    let rate = cfg.browsers as f64 / THINK_TIME_MEAN_S / cfg.shards as f64;
+    let profile = RateProfile::Burst {
+        base: rate * 0.7,
+        peak: rate * 1.7,
+        period: Duration::from_secs(7),
+        burst_len: Duration::from_secs(2),
+    };
+    let mut rng = SimRng::new(cfg.seed);
+    let mut arrivals = OpenLoopArrivals::pre_split(&profile, cfg.shards, &mut rng);
+    let plan = if cfg.chaos {
+        FaultPlan::scripted(13, Vec::new()).with_message_chaos(0.02, Duration::from_millis(5))
+    } else {
+        FaultPlan::scripted(13, Vec::new())
+    };
+    let mut chaos_lenses = ChaosLayer::new(&plan).pre_split(cfg.shards);
+    let mut parent = RequestRouter::new(cfg.regions, cfg.awareness, rng.split());
+    let mut router_lenses = parent.pre_split(cfg.shards);
+    let mut services: Vec<SimRng> = (0..cfg.shards).map(|_| rng.split()).collect();
+
+    let mut worlds: Vec<Option<PlaneWorld>> = (0..cfg.shards)
+        .map(|_| {
+            Some(PlaneWorld {
+                arrivals: arrivals.remove(0),
+                chaos: chaos_lenses.remove(0),
+                router: router_lenses.remove(0),
+                service: services.remove(0),
+                service_mean_s: cfg.service_mean_s.clone(),
+                latency_feedback: cfg.latency_feedback,
+                buf: Vec::new(),
+                accepted: 0,
+                dropped: 0,
+                completed: 0,
+                chaos_delay_us: 0,
+            })
+        })
+        .collect();
+    let mut world = ShardedWorld::new(
+        ShardLayout::balanced(cfg.shards, cfg.shards),
+        &mut rng,
+        |s, _| worlds[s].take().expect("one world per shard"),
+    );
+    let obs = acm_obs::Obs::new(acm_obs::ObsConfig::default());
+    for shard in world.shards_mut() {
+        shard.sim.set_obs(&obs);
+    }
+
+    let start = Instant::now();
+    for era in 0..cfg.eras {
+        // Barrier phase: install this era's plan on every lens in
+        // shard-index order (the same table everywhere).
+        if !cfg.plans.is_empty() {
+            let step = &cfg.plans[(era as usize) % cfg.plans.len()];
+            for shard in world.shards_mut() {
+                shard
+                    .sim
+                    .world
+                    .router
+                    .install(&step.fractions, Some(&step.live));
+            }
+        }
+        let era_start = SimTime::from_secs(era * cfg.era_s);
+        let era_end = SimTime::from_secs((era + 1) * cfg.era_s);
+        world.step_era(|shard| {
+            let from = NodeId(shard.index as u32);
+            let mut buf = std::mem::take(&mut shard.sim.world.buf);
+            shard
+                .sim
+                .world
+                .arrivals
+                .fill_window(era_start, era_end, &mut buf);
+            for &at in &buf {
+                shard.sim.schedule_at(at, move |s| {
+                    s.world.accepted += 1;
+                    // The tentpole path: this request — not a bulk
+                    // era-grain share — picks its region right now.
+                    let region = s.world.router.route();
+                    let to = NodeId(1_000_000 + region as u32);
+                    match s.world.chaos.message_fate(s.now(), from, to) {
+                        MessageFate::Drop => s.world.dropped += 1,
+                        MessageFate::Deliver { extra_delay } => {
+                            s.world.chaos_delay_us += extra_delay.as_micros();
+                            let mean = s.world.service_mean_s[region];
+                            let svc =
+                                Duration::from_secs_f64(s.world.service.exponential(1.0 / mean));
+                            let latency = svc + extra_delay;
+                            s.schedule_at(s.now() + latency, move |s| {
+                                s.world.completed += 1;
+                                if s.world.latency_feedback {
+                                    s.world.router.record_latency(region, latency);
+                                }
+                            });
+                        }
+                    }
+                });
+            }
+            shard.sim.world.buf = buf;
+            shard.sim.run_until(era_end);
+        });
+    }
+    // Drain stragglers (completions scheduled past the last era end).
+    let horizon = SimTime::from_secs(cfg.eras * cfg.era_s) + Duration::from_secs(60);
+    world.step_era(|shard| {
+        shard.sim.run_until(horizon);
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    for shard in world.shards_mut() {
+        shard.sim.flush_obs();
+    }
+    PlaneOutcome {
+        executed: world.total_executed(),
+        wall_s,
+        arena_reuse: obs.counter("acm.sim.queue.arena_reuse").value(),
+        digests: world
+            .shards()
+            .iter()
+            .map(|s| {
+                let w = &s.sim.world;
+                ShardDigest {
+                    accepted: w.accepted,
+                    dropped: w.dropped,
+                    completed: w.completed,
+                    chaos_delay_us: w.chaos_delay_us,
+                    routed: w.router.stats().routed.clone(),
+                }
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> RoutedPlaneConfig {
+        let mut cfg = RoutedPlaneConfig::new(4, 4, 1 << 12, 2, 2026);
+        cfg.plans = vec![
+            PlanStep::all_live(vec![0.4, 0.3, 0.2, 0.1]),
+            PlanStep {
+                fractions: vec![0.4, 0.3, 0.2, 0.1],
+                live: vec![true, true, false, true],
+            },
+        ];
+        cfg
+    }
+
+    #[test]
+    fn routed_plane_is_byte_identical_across_widths() {
+        let cfg = small_cfg();
+        let before = acm_exec::current_threads();
+        let run = |threads: usize| {
+            acm_exec::configure_threads(threads);
+            run_routed_plane(&cfg)
+        };
+        let one = run(1);
+        let four = run(4);
+        acm_exec::configure_threads(before);
+        assert_eq!(one.digests, four.digests, "plane depends on thread width");
+        assert!(one.decisions() > 0);
+    }
+
+    #[test]
+    fn quarantined_region_receives_zero_flow_while_out() {
+        let mut cfg = RoutedPlaneConfig::new(3, 2, 1 << 12, 2, 7);
+        cfg.plans = vec![PlanStep {
+            fractions: vec![0.5, 0.3, 0.2],
+            live: vec![true, false, true],
+        }];
+        let out = run_routed_plane(&cfg);
+        assert_eq!(out.routed_totals()[1], 0, "quarantined region was routed");
+        assert!(out.decisions() > 0);
+    }
+
+    #[test]
+    fn neutral_plane_converges_to_planned_fractions() {
+        let mut cfg = RoutedPlaneConfig::new(3, 4, 1 << 15, 3, 11);
+        cfg.latency_feedback = false; // neutral scorer: exact f_i marginal
+        cfg.chaos = false;
+        cfg.plans = vec![PlanStep::all_live(vec![0.5, 0.3, 0.2])];
+        let out = run_routed_plane(&cfg);
+        let got = out.realized_fractions();
+        for (i, want) in [0.5, 0.3, 0.2].iter().enumerate() {
+            assert!(
+                (got[i] - want).abs() < 0.02,
+                "region {i}: {} vs {want} over {} decisions",
+                got[i],
+                out.decisions()
+            );
+        }
+    }
+}

@@ -28,6 +28,8 @@
 //! * [`overlay`] — controller overlay network and leader election,
 //! * [`pcam`] — per-region proactive rejuvenation and local balancing,
 //! * [`workload`] — TPC-W-like closed-loop traffic generation,
+//! * [`router`] — line-rate request-routing data plane (weighted
+//!   power-of-two-choices over the planned fractions, latency-aware),
 //! * [`core`] — the ACM control loop and the three load-balancing policies.
 
 pub use acm_core as core;
@@ -36,6 +38,7 @@ pub use acm_ml as ml;
 pub use acm_obs as obs;
 pub use acm_overlay as overlay;
 pub use acm_pcam as pcam;
+pub use acm_router as router;
 pub use acm_sim as sim;
 pub use acm_vm as vm;
 pub use acm_workload as workload;
