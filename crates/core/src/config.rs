@@ -20,7 +20,7 @@ use crate::scenario::Scenario;
 use acm_ml::model::ModelKind;
 use acm_obs::ObsConfig;
 use acm_overlay::{FaultPlan, NodeId};
-use acm_pcam::RegionConfig;
+use acm_pcam::{DriftConfig, LifecycleConfig, RegionConfig};
 use acm_router::LatencyAwareness;
 use acm_sim::time::{Duration, SimTime};
 use acm_vm::VmFlavor;
@@ -116,6 +116,14 @@ pub struct ExperimentConfig {
     /// Latency-aware scoring knobs of the request-routing data plane
     /// (minimum-measurement eligibility, exclusion threshold, EWMA decay).
     pub router: LatencyAwareness,
+    /// Per-region predictor-drift detector parameters. The defaults are
+    /// the historical hard-coded values, so existing seeds replay
+    /// byte-identically.
+    pub drift: DriftConfig,
+    /// Versioned model lifecycle (background refits, shadow evaluation,
+    /// promote/rollback). Disabled by default — when off, the loop's RNG
+    /// stream layout is unchanged from before the lifecycle existed.
+    pub lifecycle: LifecycleConfig,
 }
 
 impl ExperimentConfig {
@@ -186,6 +194,8 @@ impl ExperimentConfig {
             mix: TpcwMix::Shopping,
             obs: ObsConfig::default(),
             router: LatencyAwareness::default(),
+            drift: DriftConfig::default(),
+            lifecycle: LifecycleConfig::default(),
         }
     }
 
@@ -228,6 +238,8 @@ impl ExperimentConfig {
             mix: TpcwMix::Shopping,
             obs: ObsConfig::default(),
             router: LatencyAwareness::default(),
+            drift: DriftConfig::default(),
+            lifecycle: LifecycleConfig::default(),
         }
     }
 
@@ -277,6 +289,8 @@ impl ExperimentConfig {
         self.scenario.validate(self.regions.len())?;
         self.obs.validate()?;
         self.router.validate()?;
+        self.drift.validate()?;
+        self.lifecycle.validate()?;
         Ok(())
     }
 }

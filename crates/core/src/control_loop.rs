@@ -34,7 +34,7 @@ use acm_overlay::{
     ChaosLayer, ElectionOutcome, Elector, FailureDetector, MessageFate, NodeId, OverlayGraph,
     Transport,
 };
-use acm_pcam::{DriftMonitor, RegionEraReport, Vmc};
+use acm_pcam::{DriftMonitor, LifecycleEvent, RegionEraReport, Vmc};
 use acm_router::RequestRouter;
 use acm_sim::rng::SimRng;
 use acm_sim::shard::ShardLayout;
@@ -136,6 +136,30 @@ pub struct ControlLoop {
     slo_ctx: Vec<Option<TraceContext>>,
     /// Per-region predictor-miss watchers feeding `drift.signal` roots.
     drift: Vec<DriftMonitor>,
+    /// True when `cfg.lifecycle.enabled` armed a model lifecycle on every
+    /// model-backed VMC.
+    lifecycle_on: bool,
+    /// Per-region: span of the latest `drift.signal` root (parents
+    /// `model.refit.start`).
+    trace_drift_ctx: Vec<Option<TraceContext>>,
+    /// Per-region: span of the latest `model.refit.start`.
+    trace_refit_ctx: Vec<Option<TraceContext>>,
+    /// Per-region: span of the latest `model.promote` (parents rollback).
+    trace_promote_ctx: Vec<Option<TraceContext>>,
+    /// Per-region `acm.pcam.model.<region>.version` gauges. Empty when the
+    /// lifecycle is disabled, so such runs register no new metrics.
+    gauge_model_version: Vec<Gauge>,
+    /// Per-region `acm.pcam.model.<region>.shadow_err` gauges.
+    gauge_model_shadow_err: Vec<Gauge>,
+    /// Per-region `acm.pcam.model.<region>.incumbent_err` gauges.
+    gauge_model_incumbent_err: Vec<Gauge>,
+    /// Labeler admission failures, aggregated across regions (inert
+    /// handles when the lifecycle is disabled).
+    ctr_labeler_dropped_ooo: Counter,
+    ctr_labeler_dropped_non_finite: Counter,
+    /// Cumulative per-region labeler drop totals already exported to the
+    /// counters (the labeler reports running totals, the counters deltas).
+    labeler_dropped_exported: Vec<(u64, u64)>,
 }
 
 impl ControlLoop {
@@ -215,6 +239,26 @@ impl ControlLoop {
         let mut router = RequestRouter::new(n, cfg.router, rng.split());
         router.set_obs(&obs);
 
+        // The model lifecycle's stream is the THIRD split, taken only when
+        // the feature is on: every pre-lifecycle seed (and every run with
+        // the feature off) replays byte-identically.
+        let lifecycle_on = cfg.lifecycle.enabled;
+        if lifecycle_on {
+            let mut lc_rng = rng.split();
+            for vmc in &mut vmcs {
+                vmc.enable_lifecycle(cfg.lifecycle, lc_rng.split());
+            }
+        }
+        let model_gauge = |which: &str| -> Vec<Gauge> {
+            if !lifecycle_on {
+                return Vec::new();
+            }
+            cfg.regions
+                .iter()
+                .map(|r| obs.gauge(&format!("acm.pcam.model.{}.{which}", r.region.name)))
+                .collect()
+        };
+
         ControlLoop {
             era: cfg.era,
             now: SimTime::ZERO,
@@ -266,9 +310,27 @@ impl ControlLoop {
                 BurnRateMonitor::new(SloSpec::latency()),
             ],
             slo_ctx: vec![None; 2],
-            // One predictor-miss window per region: half the window
-            // reactive over >= 8 end-of-life events flags drift.
-            drift: (0..n).map(|_| DriftMonitor::new(32, 0.5, 8)).collect(),
+            // One predictor-miss window per region, tuned by `cfg.drift`
+            // (defaults match the historical hard-coded 32/0.5/8).
+            drift: (0..n).map(|_| cfg.drift.monitor()).collect(),
+            lifecycle_on,
+            trace_drift_ctx: vec![None; n],
+            trace_refit_ctx: vec![None; n],
+            trace_promote_ctx: vec![None; n],
+            gauge_model_version: model_gauge("version"),
+            gauge_model_shadow_err: model_gauge("shadow_err"),
+            gauge_model_incumbent_err: model_gauge("incumbent_err"),
+            ctr_labeler_dropped_ooo: if lifecycle_on {
+                obs.counter("acm.pcam.labeler.dropped.out_of_order")
+            } else {
+                Counter::default()
+            },
+            ctr_labeler_dropped_non_finite: if lifecycle_on {
+                obs.counter("acm.pcam.labeler.dropped.non_finite")
+            } else {
+                Counter::default()
+            },
+            labeler_dropped_exported: vec![(0, 0); n],
             obs,
         }
     }
@@ -306,6 +368,17 @@ impl ControlLoop {
     /// The VMCs (for assertions in tests).
     pub fn vmcs(&self) -> &[Vmc] {
         &self.vmcs
+    }
+
+    /// Flips the model lifecycle's poison-refits chaos hook on every
+    /// region (see `acm_pcam::LifecycleConfig::poison_refits`). No-op
+    /// when the lifecycle is disabled.
+    pub fn set_lifecycle_poison(&mut self, on: bool) {
+        for vmc in &mut self.vmcs {
+            if let Some(lc) = vmc.lifecycle_mut() {
+                lc.set_poison_refits(on);
+            }
+        }
     }
 
     /// Fractions currently installed.
@@ -761,6 +834,124 @@ impl ControlLoop {
         reports
     }
 
+    /// Emits the obs events for one region's lifecycle transitions,
+    /// chaining each on its cause: `drift.signal` -> `model.refit.start`
+    /// -> `model.refit.done` -> `model.promote` -> `model.rollback`, with
+    /// the era root as the fallback parent at every hop.
+    fn emit_lifecycle_events(&mut self, j: usize, t: SimTime, events: &[LifecycleEvent]) {
+        if !self.obs.enabled() {
+            return;
+        }
+        for ev in events {
+            let region = || Value::from(self.vmcs[j].name().to_string());
+            match ev {
+                LifecycleEvent::RefitStarted { version, rows } => {
+                    self.trace_refit_ctx[j] = self.obs.emit_caused(
+                        t.as_micros(),
+                        "model.refit.start",
+                        vec![
+                            ("region", region()),
+                            ("version", Value::from(*version)),
+                            ("rows", Value::from(*rows)),
+                        ],
+                        self.trace_drift_ctx[j].or(self.trace_era_ctx),
+                    );
+                }
+                LifecycleEvent::RefitDone { version } => {
+                    self.obs.emit_caused(
+                        t.as_micros(),
+                        "model.refit.done",
+                        vec![("region", region()), ("version", Value::from(*version))],
+                        self.trace_refit_ctx[j].or(self.trace_era_ctx),
+                    );
+                }
+                LifecycleEvent::Promoted {
+                    version,
+                    old_version,
+                    cand_err,
+                    incumbent_err,
+                    samples,
+                } => {
+                    self.trace_promote_ctx[j] = self.obs.emit_caused(
+                        t.as_micros(),
+                        "model.promote",
+                        vec![
+                            ("region", region()),
+                            ("version", Value::from(*version)),
+                            ("old_version", Value::from(*old_version)),
+                            ("cand_err_s", Value::from(*cand_err)),
+                            ("incumbent_err_s", Value::from(*incumbent_err)),
+                            ("samples", Value::from(*samples)),
+                        ],
+                        self.trace_refit_ctx[j].or(self.trace_era_ctx),
+                    );
+                }
+                LifecycleEvent::Rejected {
+                    version,
+                    cand_err,
+                    incumbent_err,
+                } => {
+                    self.obs.emit_caused(
+                        t.as_micros(),
+                        "model.reject",
+                        vec![
+                            ("region", region()),
+                            ("version", Value::from(*version)),
+                            ("cand_err_s", Value::from(*cand_err)),
+                            ("incumbent_err_s", Value::from(*incumbent_err)),
+                        ],
+                        self.trace_refit_ctx[j].or(self.trace_era_ctx),
+                    );
+                }
+                LifecycleEvent::RolledBack {
+                    from_version,
+                    to_version,
+                    err,
+                    baseline_err,
+                } => {
+                    self.obs.emit_caused(
+                        t.as_micros(),
+                        "model.rollback",
+                        vec![
+                            ("region", region()),
+                            ("from_version", Value::from(*from_version)),
+                            ("to_version", Value::from(*to_version)),
+                            ("live_err_s", Value::from(*err)),
+                            ("baseline_err_s", Value::from(*baseline_err)),
+                        ],
+                        self.trace_promote_ctx[j].or(self.trace_era_ctx),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Publishes the per-region model gauges and the labeler admission
+    /// drop counters after the lifecycle's end-of-era pass.
+    fn publish_model_metrics(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        for j in 0..self.vmcs.len() {
+            let Some(lc) = self.vmcs[j].lifecycle() else {
+                continue;
+            };
+            self.gauge_model_version[j].set(lc.version() as f64);
+            if let Some((cand, incumbent)) = lc.shadow_errs() {
+                self.gauge_model_shadow_err[j].set(cand);
+                self.gauge_model_incumbent_err[j].set(incumbent);
+            }
+            let ooo = lc.labeler().dropped_out_of_order();
+            let nf = lc.labeler().dropped_non_finite();
+            let (prev_ooo, prev_nf) = self.labeler_dropped_exported[j];
+            self.ctr_labeler_dropped_ooo
+                .add(ooo.saturating_sub(prev_ooo));
+            self.ctr_labeler_dropped_non_finite
+                .add(nf.saturating_sub(prev_nf));
+            self.labeler_dropped_exported[j] = (ooo, nf);
+        }
+    }
+
     /// Runs one full era of the closed loop.
     // Index loops here deliberately walk several region-aligned vectors in
     // lock-step; iterator zips would obscure the alignment.
@@ -803,6 +994,18 @@ impl ControlLoop {
 
         self.apply_faults();
         self.apply_scenario();
+
+        // ----- model lifecycle: collect refits due this era -----------------
+        // Before MONITOR and outside every phase timer: a refit is joined
+        // at its fixed era boundary (claim-and-inline if the pool never
+        // started it), so background training is leader bookkeeping here,
+        // never Plan-phase latency.
+        if self.lifecycle_on {
+            for j in 0..n {
+                let events = self.vmcs[j].lifecycle_begin_era(era_no);
+                self.emit_lifecycle_events(j, t_start, &events);
+            }
+        }
 
         // ----- MONITOR: client ingress under the interactive law ----------
         let monitor_span = self.monitor_timer.start();
@@ -1032,28 +1235,46 @@ impl ControlLoop {
         drop(execute_span);
         slice(&timeline, "execute", execute_t0);
 
-        // Predictor-drift watch (tracing runs only): every end-of-life
-        // event this era feeds the per-region miss window; a flip into
-        // the drifted state opens a root `drift.signal` span.
-        if self.obs.trace_enabled() {
-            for j in 0..n {
-                for _ in 0..reports[j].reactive_failures {
-                    self.drift[j].record_with_obs(
-                        true,
-                        &self.obs,
-                        t_end.as_micros(),
-                        self.vmcs[j].name(),
-                    );
-                }
-                for _ in 0..reports[j].proactive_rejuvenations {
-                    self.drift[j].record_with_obs(
-                        false,
-                        &self.obs,
-                        t_end.as_micros(),
-                        self.vmcs[j].name(),
-                    );
+        // Predictor-drift watch: every end-of-life event this era feeds
+        // the per-region miss window; a flip into the drifted state opens
+        // a root `drift.signal` span on tracing runs (the emit is inert on
+        // any other hub, so untraced event streams are unchanged). The
+        // windows are fed unconditionally now that the model lifecycle
+        // reads them — monitor state is no longer a tracing side effect.
+        for j in 0..n {
+            for _ in 0..reports[j].reactive_failures {
+                if let Some(ctx) = self.drift[j].record_with_obs(
+                    true,
+                    &self.obs,
+                    t_end.as_micros(),
+                    self.vmcs[j].name(),
+                ) {
+                    self.trace_drift_ctx[j] = Some(ctx);
                 }
             }
+            for _ in 0..reports[j].proactive_rejuvenations {
+                if let Some(ctx) = self.drift[j].record_with_obs(
+                    false,
+                    &self.obs,
+                    t_end.as_micros(),
+                    self.vmcs[j].name(),
+                ) {
+                    self.trace_drift_ctx[j] = Some(ctx);
+                }
+            }
+        }
+
+        // ----- model lifecycle: verdicts, then maybe a new refit ------------
+        // After the drift feed so a flip detected this era can trigger its
+        // refit in the same era; after EXECUTE so shadow scores include
+        // everything the region processed this era.
+        if self.lifecycle_on {
+            for j in 0..n {
+                let drifted = self.drift[j].drifted();
+                let events = self.vmcs[j].lifecycle_end_era(era_no, drifted);
+                self.emit_lifecycle_events(j, t_end, &events);
+            }
+            self.publish_model_metrics();
         }
 
         // ----- client-observed response times for the next era -------------
@@ -1217,6 +1438,249 @@ mod tests {
         let mut cfg = ExperimentConfig::two_region_fig3(policy, 42);
         cfg.predictor = crate::config::PredictorChoice::Oracle;
         cfg
+    }
+
+    /// The world-drift recipe shared by the lifecycle tests: a config
+    /// whose regions leak memory 3x faster than the profile the (stale)
+    /// predictors were trained on, with a hair-trigger drift monitor and
+    /// a lifecycle tuned to act within a short run.
+    fn drifted_cfg(policy: PolicyKind) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::two_region_fig3(policy, 42);
+        for spec in &mut cfg.regions {
+            spec.region.anomaly.leak_size_mb *= 3.0;
+        }
+        cfg.drift = acm_pcam::DriftConfig {
+            window: 8,
+            miss_bound: 0.25,
+            min_samples: 2,
+        };
+        cfg.lifecycle = acm_pcam::LifecycleConfig {
+            enabled: true,
+            min_labelled_rows: 20,
+            shadow_min_samples: 6,
+            cooldown_eras: 4,
+            ..Default::default()
+        };
+        cfg
+    }
+
+    /// Builds a model-backed loop. With `stale = true` every VMC serves a
+    /// model trained on the PRE-drift (default) anomaly profile of its
+    /// flavor, so reactive failures — and with them the refit machinery —
+    /// are guaranteed to appear; with `stale = false` the models are
+    /// trained on the config's own (drifted) profile and are competent.
+    fn model_loop(cfg: &ExperimentConfig, stale: bool) -> ControlLoop {
+        use acm_ml::model::ModelKind;
+        use acm_ml::toolchain::F2pmToolchain;
+        use acm_pcam::training::{collect_database, CollectionConfig};
+        let mut train_rng = SimRng::new(7);
+        let quick = CollectionConfig {
+            lambdas: vec![4.0, 8.0, 16.0],
+            runs_per_lambda: 3,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(cfg.seed);
+        let vmcs: Vec<Vmc> = cfg
+            .regions
+            .iter()
+            .map(|spec| {
+                let anomaly = if stale {
+                    acm_vm::AnomalyConfig::default()
+                } else {
+                    spec.region.anomaly.clone()
+                };
+                let db = collect_database(
+                    &spec.region.flavor,
+                    &anomaly,
+                    &spec.region.failure_spec,
+                    &quick,
+                    &mut train_rng,
+                );
+                let (model, _) = F2pmToolchain {
+                    models: vec![ModelKind::RepTree],
+                    ..Default::default()
+                }
+                .run(&db, &mut train_rng);
+                Vmc::new(spec.region.clone(), RttfSource::Model(model), rng.split())
+            })
+            .collect();
+        ControlLoop::new(cfg, vmcs, rng)
+    }
+
+    #[test]
+    fn lifecycle_promotes_refit_models_under_drift() {
+        let cfg = drifted_cfg(PolicyKind::AvailableResources);
+        let mut cl = model_loop(&cfg, true);
+        cl.run(40);
+        let events = cl.obs().events_tail(usize::MAX);
+        let count = |kind: &str| events.iter().filter(|e| e.kind == kind).count();
+        assert!(count("model.refit.start") >= 1, "no refit ever submitted");
+        assert!(count("model.refit.done") >= 1, "no refit ever collected");
+        assert!(count("model.promote") >= 1, "no candidate ever promoted");
+        assert!(
+            cl.vmcs()
+                .iter()
+                .any(|v| v.lifecycle().is_some_and(|l| l.version() > 1)),
+            "no region is serving a refit model"
+        );
+        // The loop kept serving throughout the churn.
+        assert_eq!(cl.telemetry().eras(), 40);
+        assert!(cl.telemetry().total_completed() > 0);
+        let s: f64 = cl.fractions().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poisoned_refits_are_never_promoted_by_the_loop() {
+        let mut cfg = drifted_cfg(PolicyKind::AvailableResources);
+        // Hair-trigger drift so refits keep coming in both phases.
+        cfg.drift = acm_pcam::DriftConfig {
+            window: 8,
+            miss_bound: 0.01,
+            min_samples: 1,
+        };
+        let mut cl = model_loop(&cfg, true);
+        // Honest warm-up: the lifecycle replaces the stale offline model
+        // with one fitted to the drifted live distribution.
+        cl.run(30);
+        let count_now = |cl: &ControlLoop, kind: &str| {
+            cl.obs()
+                .events_tail(usize::MAX)
+                .iter()
+                .filter(|e| e.kind == kind)
+                .count()
+        };
+        assert!(count_now(&cl, "model.promote") >= 1, "no warm-up promotion");
+        // Poisoned phase: every candidate is target-shuffled. Against a
+        // live-fitted incumbent it must lose the shadow comparison — the
+        // incumbent keeps serving untouched. A few eras drain refits that
+        // were still in flight (honestly trained) when the poison landed.
+        cl.set_lifecycle_poison(true);
+        cl.run(10);
+        let honest_promotions = count_now(&cl, "model.promote");
+        let honest_refits = count_now(&cl, "model.refit.done");
+        let versions_after_warmup: Vec<u64> = cl
+            .vmcs()
+            .iter()
+            .map(|v| v.lifecycle().expect("lifecycle enabled").version())
+            .collect();
+        cl.run(40);
+        assert!(
+            count_now(&cl, "model.refit.done") > honest_refits,
+            "poisoned phase collected no refits"
+        );
+        assert_eq!(
+            count_now(&cl, "model.promote"),
+            honest_promotions,
+            "a poisoned model was promoted"
+        );
+        // No new promotions means versions can only stand still — or step
+        // BACK, if the regression watch rolled back a drain-window
+        // promotion that went sour (that is the watch doing its job).
+        let versions_after_poison: Vec<u64> = cl
+            .vmcs()
+            .iter()
+            .map(|v| v.lifecycle().expect("lifecycle enabled").version())
+            .collect();
+        for (before, after) in versions_after_warmup.iter().zip(&versions_after_poison) {
+            assert!(after <= before, "version advanced without a promotion");
+        }
+        assert!(cl.telemetry().total_completed() > 0);
+    }
+
+    #[test]
+    fn lifecycle_run_is_deterministic_and_unperturbed_by_observability() {
+        let on = drifted_cfg(PolicyKind::AvailableResources);
+        let mut off = on.clone();
+        off.obs = acm_obs::ObsConfig::noop();
+        let mut a = model_loop(&on, true);
+        let mut b = model_loop(&off, true);
+        let mut c = model_loop(&on, true);
+        a.run(40);
+        b.run(40);
+        c.run(40);
+        // Same seed, same story — with or without instrumentation.
+        assert_eq!(a.telemetry().to_csv(), b.telemetry().to_csv());
+        assert_eq!(a.telemetry().to_csv(), c.telemetry().to_csv());
+        assert_eq!(a.obs().events_len(), c.obs().events_len());
+        assert_eq!(b.obs().events_len(), 0, "noop run must log nothing");
+        let versions = |cl: &ControlLoop| -> Vec<Option<u64>> {
+            cl.vmcs()
+                .iter()
+                .map(|v| v.lifecycle().map(|l| l.version()))
+                .collect()
+        };
+        assert_eq!(versions(&a), versions(&b));
+        assert_eq!(versions(&a), versions(&c));
+    }
+
+    #[test]
+    fn model_events_chain_drift_to_refit_to_promotion() {
+        let mut cfg = drifted_cfg(PolicyKind::AvailableResources);
+        cfg.obs = acm_obs::ObsConfig::traced(2026);
+        let mut cl = model_loop(&cfg, true);
+        cl.run(40);
+        let events = cl.obs().events_tail(usize::MAX);
+        let field = |e: &acm_obs::EventRecord, k: &str| -> Option<u64> {
+            e.fields.iter().find_map(|(n, v)| match (n, v) {
+                (name, Value::U64(u)) if *name == k => Some(*u),
+                _ => None,
+            })
+        };
+        let spans_of = |kind: &str| -> Vec<u64> {
+            events
+                .iter()
+                .filter(|e| e.kind == kind)
+                .filter_map(|e| field(e, "span"))
+                .collect()
+        };
+        let drift_spans = spans_of("drift.signal");
+        let refit_spans = spans_of("model.refit.start");
+        assert!(!drift_spans.is_empty(), "traced run saw no drift.signal");
+        assert!(!refit_spans.is_empty(), "traced run saw no refit");
+        // Every refit chains off a drift signal (or the era root before
+        // the first signal of its region); at least one must chain off a
+        // drift.signal span — the whole point of the why-chain.
+        let refit_causes: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == "model.refit.start")
+            .filter_map(|e| field(e, "cause"))
+            .collect();
+        assert!(
+            refit_causes.iter().any(|c| drift_spans.contains(c)),
+            "no refit chains off a drift.signal"
+        );
+        // Every promotion chains off the refit that produced it.
+        let promote_causes: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == "model.promote")
+            .filter_map(|e| field(e, "cause"))
+            .collect();
+        assert!(!promote_causes.is_empty(), "traced run saw no promotion");
+        assert!(
+            promote_causes.iter().all(|c| refit_spans.contains(c)),
+            "a promotion does not chain off its refit"
+        );
+    }
+
+    #[test]
+    fn lifecycle_metrics_report_versions_and_shadow_errors() {
+        let cfg = drifted_cfg(PolicyKind::AvailableResources);
+        let mut cl = model_loop(&cfg, true);
+        cl.run(40);
+        let metrics = cl.obs().metrics();
+        let gauge = |name: &str| -> Option<f64> {
+            metrics.iter().find_map(|m| match &m.value {
+                acm_obs::MetricValue::Gauge(v) if m.name == name => Some(*v),
+                _ => None,
+            })
+        };
+        for vmc in cl.vmcs() {
+            let name = vmc.name();
+            let v = gauge(&format!("acm.pcam.model.{name}.version"))
+                .unwrap_or_else(|| panic!("missing version gauge for {name}"));
+            assert_eq!(v, vmc.lifecycle().unwrap().version() as f64);
+        }
     }
 
     #[test]

@@ -85,6 +85,10 @@ impl Latch {
         }
     }
 
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().unwrap_or_else(|e| e.into_inner()) == 0
+    }
+
     fn count_down(&self) {
         let mut n = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
         *n -= 1;
@@ -771,6 +775,85 @@ impl ThreadPool {
             (Ok(r), None) => r,
         }
     }
+
+    /// Submits a detached background job and returns a [`JobHandle`] to
+    /// collect its result later.
+    ///
+    /// The job follows the same claim discipline as scope tasks: a worker
+    /// that picks it up runs it; if no worker has started it by the time
+    /// the caller [`JobHandle::join`]s, the caller claims and inlines it —
+    /// a saturated (or nested) pool degrades to inline execution instead
+    /// of deadlocking. On a single-participant pool the job runs inline
+    /// **at submit time**, preserving the exact sequential order of side
+    /// effects; callers that need width-independent results must therefore
+    /// pre-split any RNG state *before* spawning and join at a point fixed
+    /// by their own logic (an era boundary), never "when it happens to
+    /// finish".
+    ///
+    /// Panics inside the job are captured and re-raised by
+    /// [`JobHandle::join`].
+    pub fn spawn_job<T, F>(&self, f: F) -> JobHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+        let slot = Arc::clone(&result);
+        let body: Job = Box::new(move || {
+            let out = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+        });
+        let task = ClaimableTask::new(body);
+        if self.threads <= 1 {
+            task.try_run();
+        } else {
+            let queued = Arc::clone(&task);
+            self.submit(Box::new(move || queued.try_run()));
+        }
+        JobHandle { task, result }
+    }
+}
+
+/// Handle to a background job started with [`ThreadPool::spawn_job`] (or
+/// [`spawn_job`] on the global pool).
+pub struct JobHandle<T> {
+    task: Arc<ClaimableTask>,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> std::fmt::Debug for JobHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("finished", &self.task.latch.is_done())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + 'static> JobHandle<T> {
+    /// Whether the job has run to completion. Purely informational — the
+    /// answer depends on worker scheduling, so deterministic callers must
+    /// never branch their *logic* on it (join at a fixed point instead).
+    pub fn is_finished(&self) -> bool {
+        self.task.latch.is_done()
+    }
+
+    /// Collects the job's result, claiming and inlining the body if no
+    /// worker has started it yet (never blocks on a worker that may never
+    /// come). Re-raises the job's panic, if any.
+    pub fn join(self) -> T {
+        self.task.try_run();
+        self.task.latch.wait();
+        // SAFETY: the latch published the task's cells; nobody else holds
+        // the claim now.
+        if let Some(p) = unsafe { (*self.task.panic.get()).take() } {
+            panic::resume_unwind(p);
+        }
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("job result present after latch")
+    }
 }
 
 impl Drop for ThreadPool {
@@ -911,9 +994,20 @@ pub fn global() -> Arc<ThreadPool> {
 pub fn configure_threads(threads: usize) -> usize {
     let threads = threads.max(1);
     let mut guard = global_cell().write().unwrap_or_else(|e| e.into_inner());
-    if guard.threads() != threads {
-        *guard = Arc::new(ThreadPool::new(threads));
-    }
+    let old = if guard.threads() != threads {
+        Some(mem::replace(
+            &mut *guard,
+            Arc::new(ThreadPool::new(threads)),
+        ))
+    } else {
+        None
+    };
+    drop(guard);
+    // Tear the old pool down only after releasing the cell: dropping the
+    // last handle joins its workers, and a still-running background job
+    // may call `global()` (a read lock) while draining — joining under
+    // the write lock would deadlock against it.
+    drop(old);
     threads
 }
 
@@ -968,6 +1062,15 @@ where
     F: Fn(usize, &mut T) + Sync,
 {
     global().for_each_mut(items, f)
+}
+
+/// [`ThreadPool::spawn_job`] on the global pool.
+pub fn spawn_job<T, F>(f: F) -> JobHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    global().spawn_job(f)
 }
 
 #[cfg(test)]
@@ -1173,6 +1276,66 @@ mod tests {
     }
 
     #[test]
+    fn spawn_job_returns_result_across_widths() {
+        for threads in [1, 2, 4] {
+            let pool = ThreadPool::new(threads);
+            let h = pool.spawn_job(|| (0..100u64).sum::<u64>());
+            assert_eq!(h.join(), 4950, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn spawn_job_runs_inline_at_submit_on_sequential_pool() {
+        // Width 1: the job's side effects happen before spawn_job returns,
+        // exactly as a sequential caller would observe.
+        let pool = ThreadPool::new(1);
+        let flag = Arc::new(AtomicBool::new(false));
+        let seen = Arc::clone(&flag);
+        let h = pool.spawn_job(move || seen.store(true, Ordering::SeqCst));
+        assert!(flag.load(Ordering::SeqCst), "inline at submit");
+        assert!(h.is_finished());
+        h.join();
+    }
+
+    #[test]
+    fn join_inlines_unstarted_jobs_instead_of_waiting() {
+        // A pool whose only worker is blocked: the caller must claim and
+        // inline the job rather than wait for a worker that never comes.
+        let pool = ThreadPool::new(2);
+        let gate = Arc::new(Latch::new(1));
+        let g = Arc::clone(&gate);
+        let _blocker = pool.spawn_job(move || g.wait());
+        let h = pool.spawn_job(|| 7 * 6);
+        assert_eq!(h.join(), 42);
+        gate.count_down();
+    }
+
+    #[test]
+    fn spawn_job_propagates_panics_on_join() {
+        let pool = ThreadPool::new(2);
+        let h = pool.spawn_job(|| -> u32 { panic!("job boom") });
+        let err = panic::catch_unwind(AssertUnwindSafe(|| h.join())).unwrap_err();
+        assert_eq!(*err.downcast_ref::<&str>().unwrap(), "job boom");
+        // The pool survives.
+        assert_eq!(pool.spawn_job(|| 5).join(), 5);
+    }
+
+    #[test]
+    fn spawned_jobs_can_use_the_pool_internally() {
+        // A background job fanning out a nested map_collect must not
+        // deadlock, even on a small pool.
+        let pool = Arc::new(ThreadPool::new(2));
+        let inner = Arc::clone(&pool);
+        let h = pool.spawn_job(move || {
+            inner
+                .map_collect((0..64u64).collect(), |i| i * 2)
+                .iter()
+                .sum::<u64>()
+        });
+        assert_eq!(h.join(), 64 * 63);
+    }
+
+    #[test]
     fn thread_env_parsing() {
         let cores = available_threads();
         assert_eq!(parse_thread_env(None), cores);
@@ -1181,6 +1344,32 @@ mod tests {
         assert_eq!(parse_thread_env(Some("junk")), cores);
         assert_eq!(parse_thread_env(Some("3")), 3);
         assert_eq!(parse_thread_env(Some(" 8 ")), 8);
+    }
+
+    #[test]
+    fn configure_threads_does_not_deadlock_against_inflight_jobs() {
+        // Regression: the swap used to drop the old pool (joining its
+        // workers) while still holding the global cell's write lock. A
+        // background job draining on one of those workers that touched
+        // `global()` — as every nested map/scope through the facade does —
+        // blocked on the read lock, and the join never returned.
+        configure_threads(2);
+        let started = Arc::new(Latch::new(1));
+        let seen = Arc::clone(&started);
+        let h = spawn_job(move || {
+            seen.count_down();
+            let mut acc = 0u64;
+            for i in 0..2_000u64 {
+                // Keep re-entering the global cell while the swap races us.
+                acc += global().map_collect(vec![i], |v| v * 2)[0];
+                thread::yield_now();
+            }
+            acc
+        });
+        started.wait();
+        configure_threads(1);
+        assert_eq!(h.join(), 2_000 * 1_999);
+        configure_threads(available_threads());
     }
 
     #[test]

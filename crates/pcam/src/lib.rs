@@ -18,12 +18,16 @@
 //!   discrete-event simulations.
 //! * [`online`] — retroactive feature labelling and predictor-drift
 //!   detection (the retraining loop a live deployment needs).
+//! * [`lifecycle`] — the versioned model registry: background refits on
+//!   the exec pool, shadow evaluation with censored-aware error, and
+//!   promote/rollback of the serving predictor.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod balancer;
 pub mod events;
+pub mod lifecycle;
 pub mod online;
 pub mod pool;
 pub mod training;
@@ -31,6 +35,7 @@ pub mod vmc;
 
 pub use balancer::BalancerStrategy;
 pub use events::{RegionSim, RegionSimStats};
-pub use online::{DriftMonitor, OnlineLabeler};
+pub use lifecycle::{LifecycleConfig, LifecycleEvent, ModelLifecycle, ShadowScore};
+pub use online::{DriftConfig, DriftMonitor, OnlineLabeler};
 pub use pool::VmPool;
 pub use vmc::{RegionConfig, RegionEraReport, RttfSource, Vmc};

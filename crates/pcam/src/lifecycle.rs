@@ -1,0 +1,877 @@
+//! Versioned RTTF model lifecycle (extension).
+//!
+//! `online` gave the VMC drift detection and retroactive labelling, but
+//! left two production gaps: a drift-triggered refit ran *inline* on the
+//! control thread (stalling the MAPE loop for whole eras), and the fresh
+//! model replaced the incumbent with **no evaluation** — a worse model
+//! shipped silently. This module closes both:
+//!
+//! * **Background refits** — when drift fires, the current labelled
+//!   dataset is snapshotted and training runs as a claimable job on the
+//!   `acm-exec` pool. The control loop keeps planning; the result is
+//!   collected at a *deterministic era boundary* (`refit_eras` eras after
+//!   submission), never "when it happens to finish", so the simulation is
+//!   byte-identical at any `ACM_THREADS`. The job's RNG is split from the
+//!   lifecycle stream *before* dispatch, in sequential order.
+//! * **Shadow evaluation** — the candidate enters `Loading → Shadowing`:
+//!   it scores the live feature stream alongside the incumbent without
+//!   influencing any decision. The error is **censored-aware**: rows from
+//!   failures score absolute RTTF error; rejuvenation-censored rows (true
+//!   failure time unobserved, survival ≥ bound proven) score only when a
+//!   model predicts failure *before* the censor point — a provable
+//!   misprediction of at least `bound − prediction` seconds.
+//! * **Promote / rollback** — the candidate is promoted (an atomic swap
+//!   of the VMC's predictor) only if its shadow error beats the
+//!   incumbent's over at least `shadow_min_samples` rows for *both*
+//!   models; the displaced version is retained, and a post-promotion
+//!   regression (live error exceeding the displaced model's shadow error
+//!   by `rollback_factor`) rolls the registry back to it.
+
+use crate::online::OnlineLabeler;
+use crate::vmc::RttfSource;
+use acm_exec::JobHandle;
+use acm_ml::model::ModelKind;
+use acm_ml::toolchain::{F2pmToolchain, RttfPredictor};
+use acm_sim::rng::SimRng;
+use acm_sim::time::SimTime;
+use acm_vm::{FeatureVec, VmId};
+use serde::{Deserialize, Serialize};
+
+/// Hard floor on refit dataset size, matching the F2PM toolchain's own
+/// minimum — a refit is never submitted on fewer rows no matter how low
+/// `min_labelled_rows` is configured.
+pub const MIN_REFIT_ROWS: usize = 20;
+
+/// Tuning of the versioned model lifecycle. Disabled by default: a
+/// config that never mentions the lifecycle replays byte-identically to
+/// runs recorded before it existed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    /// Master switch. When off, the VMC carries no lifecycle state at
+    /// all (and consumes no RNG stream).
+    pub enabled: bool,
+    /// Labelled rows required before a drift signal may trigger a refit.
+    pub min_labelled_rows: usize,
+    /// Eras between submitting a refit job and collecting its result.
+    /// The deterministic join point: the candidate is picked up exactly
+    /// this many eras later regardless of when the job really finished.
+    pub refit_eras: u64,
+    /// Minimum shadow samples (for BOTH candidate and incumbent) before
+    /// the promotion verdict is evaluated.
+    pub shadow_min_samples: usize,
+    /// Post-promotion samples scored before the regression verdict.
+    pub rollback_window: usize,
+    /// Roll back when the promoted model's live error exceeds the
+    /// displaced model's shadow error by this factor.
+    pub rollback_factor: f64,
+    /// Minimum eras between consecutive refit submissions.
+    pub cooldown_eras: u64,
+    /// Test hook: train refit candidates on label-shuffled data, making
+    /// them provably worthless. The shadow gate must reject every one.
+    pub poison_refits: bool,
+    /// Test hook: skip the shadow comparison and promote the candidate
+    /// as soon as one sample per model exists (exercises rollback).
+    pub force_promote: bool,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            enabled: false,
+            min_labelled_rows: 60,
+            refit_eras: 2,
+            shadow_min_samples: 12,
+            rollback_window: 8,
+            rollback_factor: 1.5,
+            cooldown_eras: 8,
+            poison_refits: false,
+            force_promote: false,
+        }
+    }
+}
+
+impl LifecycleConfig {
+    /// Sanity-checks the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_labelled_rows == 0 {
+            return Err("lifecycle min_labelled_rows must be > 0".into());
+        }
+        if self.refit_eras == 0 {
+            return Err("lifecycle refit_eras must be > 0".into());
+        }
+        if self.shadow_min_samples == 0 {
+            return Err("lifecycle shadow_min_samples must be > 0".into());
+        }
+        if self.rollback_window == 0 {
+            return Err("lifecycle rollback_window must be > 0".into());
+        }
+        if !(self.rollback_factor.is_finite() && self.rollback_factor >= 1.0) {
+            return Err(format!(
+                "lifecycle rollback_factor must be finite and >= 1: {}",
+                self.rollback_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Censored-aware absolute-error accumulator for one model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ShadowScore {
+    abs_err_sum: f64,
+    samples: usize,
+}
+
+impl ShadowScore {
+    /// A failure row: the true RTTF was observed, score `|pred − actual|`.
+    fn score_failure(&mut self, pred: f64, actual: f64) {
+        self.abs_err_sum += (pred - actual).abs();
+        self.samples += 1;
+    }
+
+    /// A censored row: the VM provably survived `bound` seconds past the
+    /// snapshot. A prediction at or beyond the bound is *consistent* with
+    /// the censored observation and scores nothing; predicting failure
+    /// before the censor point is a provable misprediction of at least
+    /// `bound − pred`.
+    fn score_censored(&mut self, pred: f64, bound: f64) {
+        if pred < bound {
+            self.abs_err_sum += bound - pred;
+            self.samples += 1;
+        }
+    }
+
+    /// Scored rows so far (censored rows consistent with the model do
+    /// not count — the denominators of two models legitimately differ).
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Mean absolute error over the scored rows.
+    pub fn mean(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.abs_err_sum / self.samples as f64)
+    }
+}
+
+/// A refit job in flight on the exec pool.
+#[derive(Debug)]
+struct PendingRefit {
+    version: u64,
+    submitted_era: u64,
+    handle: JobHandle<RttfPredictor>,
+}
+
+/// A candidate scoring the live stream next to the incumbent.
+#[derive(Debug)]
+struct ShadowCandidate {
+    version: u64,
+    predictor: RttfPredictor,
+    cand: ShadowScore,
+    incumbent: ShadowScore,
+}
+
+/// Post-promotion regression watch: the freshly promoted model must not
+/// do much worse live than the model it displaced did in shadow.
+#[derive(Debug)]
+struct RegressionWatch {
+    baseline_err: f64,
+    score: ShadowScore,
+}
+
+/// Where the registry currently is.
+#[derive(Debug)]
+enum Phase {
+    /// Serving the incumbent; no refit in flight.
+    Idle,
+    /// A background refit job is training a candidate.
+    Loading(PendingRefit),
+    /// The candidate shadows the incumbent on the live stream.
+    Shadowing(ShadowCandidate),
+}
+
+/// A state transition the control loop should surface as a decision
+/// event (and act on: `Promoted`/`RolledBack` mean the serving predictor
+/// just changed).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleEvent {
+    /// A refit job was submitted to the exec pool.
+    RefitStarted {
+        /// Version the candidate will carry.
+        version: u64,
+        /// Labelled rows in the snapshotted training set.
+        rows: usize,
+    },
+    /// The refit result was collected; the candidate starts shadowing.
+    RefitDone {
+        /// Candidate version now shadowing.
+        version: u64,
+    },
+    /// The candidate beat the incumbent and now serves.
+    Promoted {
+        /// Version now serving.
+        version: u64,
+        /// Version displaced (retained for rollback).
+        old_version: u64,
+        /// Candidate mean shadow error, seconds.
+        cand_err: f64,
+        /// Incumbent mean shadow error, seconds.
+        incumbent_err: f64,
+        /// Shadow rows the candidate scored.
+        samples: usize,
+    },
+    /// The candidate lost the shadow comparison and was discarded.
+    Rejected {
+        /// Candidate version discarded.
+        version: u64,
+        /// Candidate mean shadow error, seconds.
+        cand_err: f64,
+        /// Incumbent mean shadow error, seconds.
+        incumbent_err: f64,
+    },
+    /// The promoted model regressed live; the prior version serves again.
+    RolledBack {
+        /// Version rolled out of service.
+        from_version: u64,
+        /// Version restored.
+        to_version: u64,
+        /// Live mean error that tripped the watch, seconds.
+        err: f64,
+        /// The displaced model's shadow error the promotion promised to
+        /// uphold, seconds.
+        baseline_err: f64,
+    },
+}
+
+/// The per-region versioned model registry. Owned by the [`crate::Vmc`];
+/// driven once per era from the control loop (`begin_era` before the
+/// region serves, `end_era` after outcomes are known), fed outcome rows
+/// by the VMC's failure/rejuvenation paths.
+#[derive(Debug)]
+pub struct ModelLifecycle {
+    cfg: LifecycleConfig,
+    labeler: OnlineLabeler,
+    /// Version of the serving predictor (the initial offline model is 1).
+    version: u64,
+    /// Next candidate version to assign.
+    next_version: u64,
+    phase: Phase,
+    /// The displaced predictor retained across a promotion.
+    prior: Option<(u64, RttfPredictor)>,
+    watch: Option<RegressionWatch>,
+    last_refit_era: Option<u64>,
+    /// Dedicated RNG stream; refit jobs split from it in sequential
+    /// order before dispatch.
+    rng: SimRng,
+}
+
+impl ModelLifecycle {
+    /// A fresh registry serving version 1.
+    pub fn new(cfg: LifecycleConfig, rng: SimRng) -> Self {
+        ModelLifecycle {
+            cfg,
+            labeler: OnlineLabeler::new(),
+            version: 1,
+            next_version: 2,
+            phase: Phase::Idle,
+            prior: None,
+            watch: None,
+            last_refit_era: None,
+            rng,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LifecycleConfig {
+        &self.cfg
+    }
+
+    /// Flips the poison-refits chaos hook at runtime. Test support: a
+    /// poisoned phase after an honest warm-up exercises the shadow gate
+    /// against an incumbent fitted to the live distribution, which is the
+    /// regression the gate exists to stop.
+    pub fn set_poison_refits(&mut self, on: bool) {
+        self.cfg.poison_refits = on;
+    }
+
+    /// Serving model version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The labeller feeding refits (read).
+    pub fn labeler(&self) -> &OnlineLabeler {
+        &self.labeler
+    }
+
+    /// Current phase, for gauges/debugging.
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Idle => "idle",
+            Phase::Loading(_) => "loading",
+            Phase::Shadowing(_) => "shadowing",
+        }
+    }
+
+    /// `(candidate, incumbent)` mean shadow errors, when shadowing and
+    /// both models have scored at least one row.
+    pub fn shadow_errs(&self) -> Option<(f64, f64)> {
+        match &self.phase {
+            Phase::Shadowing(s) => Some((s.cand.mean()?, s.incumbent.mean()?)),
+            _ => None,
+        }
+    }
+
+    /// Records a feature snapshot for a VM (one per era per ACTIVE VM).
+    pub fn observe(&mut self, vm: VmId, now: SimTime, features: FeatureVec) {
+        self.labeler.observe(vm, now, features);
+    }
+
+    /// A VM failed at `at`: label its snapshots and score the newly
+    /// labelled rows for whatever is shadowing / under regression watch.
+    pub fn on_failure(&mut self, vm: VmId, at: SimTime, incumbent: Option<&RttfPredictor>) {
+        let rows = self.labeler.on_failure_rows(vm, at);
+        for (features, rttf) in &rows {
+            let f = features.as_slice();
+            if let Phase::Shadowing(s) = &mut self.phase {
+                s.cand.score_failure(s.predictor.predict(f), *rttf);
+                if let Some(m) = incumbent {
+                    s.incumbent.score_failure(m.predict(f), *rttf);
+                }
+            }
+            if let (Some(w), Some(m)) = (&mut self.watch, incumbent) {
+                w.score.score_failure(m.predict(f), *rttf);
+            }
+        }
+    }
+
+    /// A VM was proactively rejuvenated at `at`: its snapshots become
+    /// censored lower bounds and score censored-aware.
+    pub fn on_rejuvenation(&mut self, vm: VmId, at: SimTime, incumbent: Option<&RttfPredictor>) {
+        let rows = self.labeler.on_rejuvenation(vm, at);
+        for (features, bound) in &rows {
+            let f = features.as_slice();
+            if let Phase::Shadowing(s) = &mut self.phase {
+                s.cand.score_censored(s.predictor.predict(f), *bound);
+                if let Some(m) = incumbent {
+                    s.incumbent.score_censored(m.predict(f), *bound);
+                }
+            }
+            if let (Some(w), Some(m)) = (&mut self.watch, incumbent) {
+                w.score.score_censored(m.predict(f), *bound);
+            }
+        }
+    }
+
+    /// Era prologue: collect a due refit result. The join point is the
+    /// fixed era boundary `submitted_era + refit_eras` — if the job has
+    /// not started by then, the caller claims and runs it inline (the
+    /// claimable-task discipline), so the outcome is identical at any
+    /// pool width.
+    pub fn begin_era(&mut self, era_index: u64) -> Vec<LifecycleEvent> {
+        let mut events = Vec::new();
+        let due = matches!(
+            &self.phase,
+            Phase::Loading(p) if era_index >= p.submitted_era + self.cfg.refit_eras
+        );
+        if due {
+            let Phase::Loading(p) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+                unreachable!("checked above");
+            };
+            let predictor = p.handle.join();
+            events.push(LifecycleEvent::RefitDone { version: p.version });
+            self.phase = Phase::Shadowing(ShadowCandidate {
+                version: p.version,
+                predictor,
+                cand: ShadowScore::default(),
+                incumbent: ShadowScore::default(),
+            });
+        }
+        events
+    }
+
+    /// Era epilogue: evaluate the regression watch, deliver the shadow
+    /// verdict, and maybe submit a new refit off the drift signal.
+    /// `Promoted`/`RolledBack` swap the serving predictor in `source`
+    /// in place — the VMC's next prediction uses the new version.
+    pub fn end_era(
+        &mut self,
+        era_index: u64,
+        drifted: bool,
+        source: &mut RttfSource,
+    ) -> Vec<LifecycleEvent> {
+        let mut events = Vec::new();
+
+        // (1) Post-promotion regression watch: one verdict per promotion,
+        // delivered once `rollback_window` live rows have been scored.
+        if let Some(w) = &self.watch {
+            if w.score.samples() >= self.cfg.rollback_window {
+                let err = w.score.mean().expect("samples > 0");
+                let baseline = w.baseline_err;
+                self.watch = None;
+                if err > baseline * self.cfg.rollback_factor {
+                    if let Some((prior_version, prior_model)) = self.prior.take() {
+                        let from = self.version;
+                        *source = RttfSource::Model(prior_model);
+                        self.version = prior_version;
+                        events.push(LifecycleEvent::RolledBack {
+                            from_version: from,
+                            to_version: prior_version,
+                            err,
+                            baseline_err: baseline,
+                        });
+                    }
+                }
+            }
+        }
+
+        // (2) Shadow verdict.
+        let verdict_due = match &self.phase {
+            Phase::Shadowing(s) => {
+                let enough = s.cand.samples() >= self.cfg.shadow_min_samples
+                    && s.incumbent.samples() >= self.cfg.shadow_min_samples;
+                let forced =
+                    self.cfg.force_promote && s.cand.samples() >= 1 && s.incumbent.samples() >= 1;
+                enough || forced
+            }
+            _ => false,
+        };
+        if verdict_due {
+            let Phase::Shadowing(s) = std::mem::replace(&mut self.phase, Phase::Idle) else {
+                unreachable!("checked above");
+            };
+            let cand_err = s.cand.mean().expect("samples >= 1");
+            let incumbent_err = s.incumbent.mean().expect("samples >= 1");
+            let promote = self.cfg.force_promote || cand_err < incumbent_err;
+            match (promote, &mut *source) {
+                (true, RttfSource::Model(incumbent)) => {
+                    let old_version = self.version;
+                    self.prior = Some((old_version, incumbent.clone()));
+                    let samples = s.cand.samples();
+                    *source = RttfSource::Model(s.predictor);
+                    self.version = s.version;
+                    // The promoted model must at least live up to the
+                    // error level of the model it displaced.
+                    self.watch = Some(RegressionWatch {
+                        baseline_err: incumbent_err,
+                        score: ShadowScore::default(),
+                    });
+                    events.push(LifecycleEvent::Promoted {
+                        version: s.version,
+                        old_version,
+                        cand_err,
+                        incumbent_err,
+                        samples,
+                    });
+                }
+                _ => {
+                    events.push(LifecycleEvent::Rejected {
+                        version: s.version,
+                        cand_err,
+                        incumbent_err,
+                    });
+                }
+            }
+        }
+
+        // (3) Maybe submit a refit: idle, drifted, enough labels, out of
+        // cooldown. The dataset snapshot and the RNG split happen here,
+        // on the control thread, in era order — the job itself is free
+        // to finish whenever; only `begin_era` observes it.
+        let cooled = self
+            .last_refit_era
+            .is_none_or(|e| era_index.saturating_sub(e) >= self.cfg.cooldown_eras);
+        if matches!(self.phase, Phase::Idle)
+            && drifted
+            && cooled
+            && self.labeler.labelled_rows() >= self.cfg.min_labelled_rows.max(MIN_REFIT_ROWS)
+        {
+            let rows = self.labeler.labelled_rows();
+            let db = self.labeler.database().clone();
+            let mut job_rng = self.rng.split();
+            let poison = self.cfg.poison_refits;
+            let version = self.next_version;
+            self.next_version += 1;
+            let handle = acm_exec::spawn_job(move || {
+                let db = if poison {
+                    crate::training::shuffle_targets(&db, &mut job_rng)
+                } else {
+                    db
+                };
+                let toolchain = F2pmToolchain {
+                    models: vec![ModelKind::RepTree],
+                    ..Default::default()
+                };
+                toolchain.run(&db, &mut job_rng).0
+            });
+            self.phase = Phase::Loading(PendingRefit {
+                version,
+                submitted_era: era_index,
+                handle,
+            });
+            self.last_refit_era = Some(era_index);
+            events.push(LifecycleEvent::RefitStarted { version, rows });
+        }
+
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{collect_database, CollectionConfig};
+    use acm_sim::time::Duration;
+    use acm_vm::{AnomalyConfig, FailureSpec, Vm, VmFlavor, VmState, FEATURE_COUNT};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn quick_predictor(seed: u64) -> RttfPredictor {
+        let mut rng = SimRng::new(seed);
+        let db = collect_database(
+            &VmFlavor::m3_medium(),
+            &AnomalyConfig::default(),
+            &FailureSpec::default(),
+            &CollectionConfig {
+                lambdas: vec![8.0, 16.0],
+                runs_per_lambda: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        F2pmToolchain {
+            models: vec![ModelKind::RepTree],
+            ..Default::default()
+        }
+        .run(&db, &mut rng)
+        .0
+    }
+
+    fn feature_vec(seed: u64) -> FeatureVec {
+        // A real VM snapshot so the predictors see in-distribution rows.
+        let vm = Vm::new(
+            VmId(0),
+            VmFlavor::m3_medium(),
+            AnomalyConfig::default(),
+            FailureSpec::default(),
+            VmState::Active,
+            SimRng::new(seed),
+        );
+        vm.features(SimTime::from_secs(seed), 12.0)
+    }
+
+    #[test]
+    fn config_validates() {
+        LifecycleConfig::default().validate().unwrap();
+        for bad in [
+            LifecycleConfig {
+                min_labelled_rows: 0,
+                ..Default::default()
+            },
+            LifecycleConfig {
+                refit_eras: 0,
+                ..Default::default()
+            },
+            LifecycleConfig {
+                shadow_min_samples: 0,
+                ..Default::default()
+            },
+            LifecycleConfig {
+                rollback_window: 0,
+                ..Default::default()
+            },
+            LifecycleConfig {
+                rollback_factor: 0.5,
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must not validate");
+        }
+    }
+
+    #[test]
+    fn censored_scoring_only_penalises_provable_mispredictions() {
+        let mut s = ShadowScore::default();
+        // Predicting survival past the censor bound is consistent.
+        s.score_censored(500.0, 300.0);
+        assert_eq!(s.samples(), 0);
+        assert_eq!(s.mean(), None);
+        // Predicting failure before the bound is provably wrong by at
+        // least the shortfall.
+        s.score_censored(100.0, 300.0);
+        assert_eq!(s.samples(), 1);
+        assert_eq!(s.mean(), Some(200.0));
+        s.score_failure(50.0, 80.0);
+        assert_eq!(s.samples(), 2);
+        assert_eq!(s.mean(), Some(115.0));
+    }
+
+    /// Feeds `n` labelled failure rows with spread-out targets.
+    fn feed_rows(lc: &mut ModelLifecycle, n: u32, seed: u64) {
+        for i in 0..n {
+            lc.observe(VmId(i), t(0), feature_vec(seed + u64::from(i)));
+            lc.on_failure(VmId(i), t(u64::from(i) * 40 + 40), None);
+        }
+    }
+
+    #[test]
+    fn refit_is_submitted_and_collected_at_the_era_boundary() {
+        let cfg = LifecycleConfig {
+            enabled: true,
+            min_labelled_rows: 1,
+            refit_eras: 2,
+            ..Default::default()
+        };
+        let mut lc = ModelLifecycle::new(cfg, SimRng::new(1));
+        let mut source = RttfSource::Model(quick_predictor(7));
+
+        feed_rows(&mut lc, 24, 100);
+        assert_eq!(lc.labeler().labelled_rows(), 24);
+
+        let ev = lc.end_era(5, true, &mut source);
+        assert_eq!(
+            ev,
+            vec![LifecycleEvent::RefitStarted {
+                version: 2,
+                rows: 24
+            }]
+        );
+        assert_eq!(lc.phase_name(), "loading");
+
+        // Not due yet at era 6; due at era 7 = 5 + refit_eras.
+        assert!(lc.begin_era(6).is_empty());
+        assert_eq!(lc.phase_name(), "loading");
+        let ev = lc.begin_era(7);
+        assert_eq!(ev, vec![LifecycleEvent::RefitDone { version: 2 }]);
+        assert_eq!(lc.phase_name(), "shadowing");
+        // Still serving version 1 while shadowing.
+        assert_eq!(lc.version(), 1);
+    }
+
+    #[test]
+    fn too_few_rows_never_submit_a_refit() {
+        let cfg = LifecycleConfig {
+            enabled: true,
+            min_labelled_rows: 1, // below the toolchain floor on purpose
+            ..Default::default()
+        };
+        let mut lc = ModelLifecycle::new(cfg, SimRng::new(8));
+        let mut source = RttfSource::Model(quick_predictor(7));
+        feed_rows(&mut lc, (MIN_REFIT_ROWS - 1) as u32, 500);
+        assert!(lc.end_era(0, true, &mut source).is_empty());
+        assert_eq!(lc.phase_name(), "idle");
+    }
+
+    #[test]
+    fn poisoned_candidate_is_rejected_by_the_shadow_gate() {
+        // The refit trains on label-shuffled data (provably worthless);
+        // shadow rows are manufactured so the incumbent is nearly exact
+        // (actual = its own prediction, rounded to seconds). A strictly
+        // better candidate is impossible → the gate must reject.
+        let cfg = LifecycleConfig {
+            enabled: true,
+            min_labelled_rows: 20,
+            refit_eras: 1,
+            shadow_min_samples: 4,
+            cooldown_eras: 0,
+            poison_refits: true,
+            ..Default::default()
+        };
+        let mut lc = ModelLifecycle::new(cfg, SimRng::new(2));
+        let incumbent = quick_predictor(7);
+        let mut source = RttfSource::Model(incumbent.clone());
+
+        feed_rows(&mut lc, 24, 100);
+        assert!(!lc.end_era(0, true, &mut source).is_empty());
+        lc.begin_era(1);
+        assert_eq!(lc.phase_name(), "shadowing");
+
+        for i in 0..4u64 {
+            let f = feature_vec(300 + i);
+            let actual = incumbent.predict(f.as_slice()).max(1.0);
+            lc.observe(VmId(300 + i as u32), t(1_000), f);
+            lc.on_failure(
+                VmId(300 + i as u32),
+                t(1_000) + Duration::from_secs(actual as u64),
+                Some(&incumbent),
+            );
+        }
+        let ev = lc.end_era(2, false, &mut source);
+        assert!(
+            matches!(ev.as_slice(), [LifecycleEvent::Rejected { version: 2, .. }]),
+            "worthless candidate must be rejected, got {ev:?}"
+        );
+        assert_eq!(lc.version(), 1);
+        assert_eq!(lc.phase_name(), "idle");
+        // The incumbent kept serving, untouched.
+        let RttfSource::Model(m) = &source else {
+            panic!("model source")
+        };
+        let probe = feature_vec(999);
+        assert_eq!(
+            m.predict(probe.as_slice()),
+            incumbent.predict(probe.as_slice())
+        );
+    }
+
+    #[test]
+    fn force_promote_then_regression_rolls_back_to_prior_exactly() {
+        let cfg = LifecycleConfig {
+            enabled: true,
+            min_labelled_rows: 1,
+            refit_eras: 1,
+            shadow_min_samples: 1,
+            rollback_window: 2,
+            rollback_factor: 1.5,
+            cooldown_eras: 100, // one refit only
+            poison_refits: true,
+            force_promote: true,
+        };
+        let mut lc = ModelLifecycle::new(cfg, SimRng::new(3));
+        let original = quick_predictor(7);
+        let mut source = RttfSource::Model(original.clone());
+
+        // Enough rows for the poisoned refit to train on.
+        feed_rows(&mut lc, 24, 10);
+        assert!(!lc.end_era(0, true, &mut source).is_empty());
+        lc.begin_era(1);
+
+        // One scored failure row for both models, then force-promotion.
+        // actual ≈ the incumbent's own prediction, so the regression
+        // baseline (the displaced model's shadow error) is < 1 s.
+        let f = feature_vec(50);
+        let incumbent = match &source {
+            RttfSource::Model(m) => m.clone(),
+            RttfSource::Oracle => unreachable!(),
+        };
+        let inc_pred = incumbent.predict(f.as_slice()).max(1.0);
+        lc.observe(VmId(100), t(100), f);
+        lc.on_failure(
+            VmId(100),
+            t(100) + Duration::from_secs(inc_pred as u64),
+            Some(&incumbent),
+        );
+        let ev = lc.end_era(2, false, &mut source);
+        assert!(
+            matches!(
+                ev.as_slice(),
+                [LifecycleEvent::Promoted {
+                    version: 2,
+                    old_version: 1,
+                    ..
+                }]
+            ),
+            "force_promote must promote, got {ev:?}"
+        );
+        assert_eq!(lc.version(), 2);
+
+        // Live rows where the original model is exactly right: the
+        // poisoned model's error dwarfs the baseline → rollback.
+        let serving = match &source {
+            RttfSource::Model(m) => m.clone(),
+            RttfSource::Oracle => unreachable!(),
+        };
+        for i in 0..2u32 {
+            let fi = feature_vec(u64::from(i) + 60);
+            let actual = original.predict(fi.as_slice()).max(1.0);
+            lc.observe(VmId(200 + i), t(1_000), fi);
+            lc.on_failure(
+                VmId(200 + i),
+                t(1_000) + Duration::from_secs(actual as u64),
+                Some(&serving),
+            );
+        }
+        let ev = lc.end_era(3, false, &mut source);
+        assert!(
+            matches!(
+                ev.as_slice(),
+                [LifecycleEvent::RolledBack {
+                    from_version: 2,
+                    to_version: 1,
+                    ..
+                }]
+            ),
+            "regression must roll back, got {ev:?}"
+        );
+        assert_eq!(lc.version(), 1);
+
+        // The restored predictor is byte-for-byte the original: its
+        // predictions match exactly on arbitrary probes.
+        let RttfSource::Model(restored) = &source else {
+            panic!("model source");
+        };
+        for seed in 0..20u64 {
+            let p = feature_vec(seed + 300);
+            assert_eq!(
+                restored.predict(p.as_slice()),
+                original.predict(p.as_slice()),
+                "rollback must restore the prior version's predictions"
+            );
+        }
+    }
+
+    #[test]
+    fn lifecycle_is_deterministic_across_thread_counts() {
+        let run = || {
+            let cfg = LifecycleConfig {
+                enabled: true,
+                min_labelled_rows: 20,
+                refit_eras: 2,
+                shadow_min_samples: 1,
+                force_promote: true,
+                cooldown_eras: 100,
+                ..Default::default()
+            };
+            let mut lc = ModelLifecycle::new(cfg, SimRng::new(11));
+            let mut source = RttfSource::Model(quick_predictor(7));
+            let mut transcript: Vec<LifecycleEvent> = Vec::new();
+            for era in 0..20u64 {
+                transcript.extend(lc.begin_era(era));
+                // Three labelled rows per era keep the refit fed.
+                let vm = VmId(era as u32);
+                for k in 0..3u64 {
+                    lc.observe(vm, t(era * 30 + k), feature_vec(era * 3 + k + 1));
+                }
+                let incumbent = match &source {
+                    RttfSource::Model(m) => Some(m.clone()),
+                    RttfSource::Oracle => None,
+                };
+                lc.on_failure(vm, t(era * 30 + 90), incumbent.as_ref());
+                transcript.extend(lc.end_era(era, true, &mut source));
+            }
+            let probe = feature_vec(999);
+            let RttfSource::Model(m) = &source else {
+                panic!("model source")
+            };
+            (transcript, m.predict(probe.as_slice()))
+        };
+        let before = acm_exec::current_threads();
+        acm_exec::configure_threads(1);
+        let seq = run();
+        acm_exec::configure_threads(4);
+        let par = run();
+        acm_exec::configure_threads(before);
+        assert_eq!(seq, par, "lifecycle must not depend on pool width");
+        assert!(
+            seq.0
+                .iter()
+                .any(|e| matches!(e, LifecycleEvent::Promoted { .. })),
+            "scenario must exercise a promotion: {:?}",
+            seq.0
+        );
+    }
+
+    #[test]
+    fn snapshots_with_nan_features_never_reach_the_refit_dataset() {
+        let cfg = LifecycleConfig {
+            enabled: true,
+            ..Default::default()
+        };
+        let mut lc = ModelLifecycle::new(cfg, SimRng::new(5));
+        lc.observe(VmId(0), t(0), FeatureVec::new([f64::NAN; FEATURE_COUNT]));
+        lc.on_failure(VmId(0), t(10), None);
+        assert_eq!(lc.labeler().labelled_rows(), 0);
+        assert_eq!(lc.labeler().dropped_non_finite(), 1);
+    }
+}

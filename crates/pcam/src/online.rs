@@ -26,7 +26,13 @@ use std::collections::BTreeMap;
 pub struct OnlineLabeler {
     pending: BTreeMap<VmId, Vec<(SimTime, FeatureVec)>>,
     db: Dataset,
+    /// Censored lower-bound rows: the VM survived at least `bound` seconds
+    /// past the snapshot (it was rejuvenated then, so the true RTTF was
+    /// never observed but is provably ≥ the bound).
+    censored: Vec<(FeatureVec, f64)>,
     censored_snapshots: u64,
+    dropped_out_of_order: u64,
+    dropped_non_finite: u64,
 }
 
 impl Default for OnlineLabeler {
@@ -41,7 +47,10 @@ impl OnlineLabeler {
         OnlineLabeler {
             pending: BTreeMap::new(),
             db: Dataset::new(FEATURE_NAMES),
+            censored: Vec::new(),
             censored_snapshots: 0,
+            dropped_out_of_order: 0,
+            dropped_non_finite: 0,
         }
     }
 
@@ -50,31 +59,66 @@ impl OnlineLabeler {
         self.pending.entry(vm).or_default().push((now, features));
     }
 
+    /// Filters one pending snapshot against the outcome instant `at`,
+    /// counting (instead of silently discarding) snapshots a buggy feature
+    /// pipeline produced: out-of-order timestamps and non-finite features.
+    fn admit(&mut self, t: SimTime, features: &FeatureVec, at: SimTime) -> bool {
+        if t > at {
+            self.dropped_out_of_order += 1;
+            return false;
+        }
+        if !features.is_finite() {
+            self.dropped_non_finite += 1;
+            return false;
+        }
+        true
+    }
+
     /// The VM reached its failure point at `at`: every pending snapshot
     /// becomes a labelled row with `RTTF = at − t_snapshot`. Returns how
     /// many rows were labelled.
     pub fn on_failure(&mut self, vm: VmId, at: SimTime) -> usize {
+        self.on_failure_rows(vm, at).len()
+    }
+
+    /// [`OnlineLabeler::on_failure`], additionally returning the freshly
+    /// labelled `(features, rttf)` rows so shadow evaluation can score
+    /// live models on exactly the rows this failure produced.
+    pub fn on_failure_rows(&mut self, vm: VmId, at: SimTime) -> Vec<(FeatureVec, f64)> {
         let Some(snapshots) = self.pending.remove(&vm) else {
-            return 0;
+            return Vec::new();
         };
-        let mut labelled = 0;
+        let mut rows = Vec::new();
         for (t, features) in snapshots {
-            if t > at || !features.is_finite() {
+            if !self.admit(t, &features, at) {
                 continue;
             }
             let rttf = at.since(t).as_secs_f64();
             self.db.push(features.as_slice().to_vec(), rttf);
-            labelled += 1;
+            rows.push((features, rttf));
         }
-        labelled
+        rows
     }
 
-    /// The VM was proactively rejuvenated: its pending snapshots are
-    /// censored (no failure time was observed) and dropped.
-    pub fn on_rejuvenation(&mut self, vm: VmId) {
-        if let Some(snapshots) = self.pending.remove(&vm) {
-            self.censored_snapshots += snapshots.len() as u64;
+    /// The VM was proactively rejuvenated at `at`: its pending snapshots
+    /// are censored — the true failure time was never observed, but the VM
+    /// provably survived `at − t_snapshot`, so each snapshot is retained
+    /// as a censored lower-bound row. Returns the newly retained rows.
+    pub fn on_rejuvenation(&mut self, vm: VmId, at: SimTime) -> Vec<(FeatureVec, f64)> {
+        let Some(snapshots) = self.pending.remove(&vm) else {
+            return Vec::new();
+        };
+        self.censored_snapshots += snapshots.len() as u64;
+        let mut rows = Vec::new();
+        for (t, features) in snapshots {
+            if !self.admit(t, &features, at) {
+                continue;
+            }
+            let bound = at.since(t).as_secs_f64();
+            self.censored.push((features, bound));
+            rows.push((features, bound));
         }
+        rows
     }
 
     /// The labelled database harvested so far.
@@ -87,14 +131,82 @@ impl OnlineLabeler {
         self.db.len()
     }
 
-    /// Snapshots discarded because their VM was rejuvenated first.
+    /// Censored lower-bound rows `(features, survived_at_least_s)`
+    /// retained from proactive rejuvenations.
+    pub fn censored_rows(&self) -> &[(FeatureVec, f64)] {
+        &self.censored
+    }
+
+    /// Snapshots whose VM was rejuvenated before failing (counter kept
+    /// from before censored rows were retained: every censored snapshot
+    /// counts, including ones the admission filter then drops).
     pub fn censored_snapshots(&self) -> u64 {
         self.censored_snapshots
+    }
+
+    /// Snapshots dropped because they post-dated their VM's outcome.
+    pub fn dropped_out_of_order(&self) -> u64 {
+        self.dropped_out_of_order
+    }
+
+    /// Snapshots dropped because the feature vector was not finite.
+    pub fn dropped_non_finite(&self) -> u64 {
+        self.dropped_non_finite
     }
 
     /// Snapshots still awaiting an outcome.
     pub fn pending_snapshots(&self) -> usize {
         self.pending.values().map(Vec::len).sum()
+    }
+}
+
+/// Configuration of the per-region [`DriftMonitor`], lifted out of the
+/// construction site so deployments can tune the detector. The defaults
+/// reproduce the historical hard-coded values byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Sliding window length (end-of-life events remembered).
+    pub window: usize,
+    /// Declare drift when the reactive miss fraction exceeds this.
+    pub miss_bound: f64,
+    /// Minimum observations before drift can be declared.
+    pub min_samples: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 32,
+            miss_bound: 0.5,
+            min_samples: 8,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Sanity-checks the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.window == 0 {
+            return Err("drift window must be > 0".into());
+        }
+        if !(self.miss_bound > 0.0 && self.miss_bound <= 1.0) {
+            return Err(format!(
+                "drift miss_bound out of (0, 1]: {}",
+                self.miss_bound
+            ));
+        }
+        if self.min_samples == 0 || self.min_samples > self.window {
+            return Err(format!(
+                "drift min_samples out of [1, window]: {}",
+                self.min_samples
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the monitor this configuration describes.
+    pub fn monitor(&self) -> DriftMonitor {
+        DriftMonitor::new(self.window, self.miss_bound, self.min_samples)
     }
 }
 
@@ -227,12 +339,82 @@ mod tests {
     fn rejuvenation_censors() {
         let mut labeler = OnlineLabeler::new();
         let vm = VmId(2);
-        labeler.observe(vm, t(0), FeatureVec::new([1.0; acm_vm::FEATURE_COUNT]));
-        labeler.on_rejuvenation(vm);
+        labeler.observe(vm, t(10), FeatureVec::new([1.0; acm_vm::FEATURE_COUNT]));
+        let rows = labeler.on_rejuvenation(vm, t(40));
         assert_eq!(labeler.labelled_rows(), 0);
         assert_eq!(labeler.censored_snapshots(), 1);
+        // The snapshot is retained as a censored lower bound, not dropped:
+        // the VM provably survived 30 s past the snapshot.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(labeler.censored_rows().len(), 1);
+        assert_eq!(labeler.censored_rows()[0].1, 30.0);
         // A later failure report for the same VM labels nothing.
-        assert_eq!(labeler.on_failure(vm, t(10)), 0);
+        assert_eq!(labeler.on_failure(vm, t(50)), 0);
+    }
+
+    #[test]
+    fn bad_snapshots_are_counted_not_silently_dropped() {
+        let mut labeler = OnlineLabeler::new();
+        let vm = VmId(3);
+        // Good, out-of-order (post-dates the failure), and non-finite rows.
+        labeler.observe(vm, t(0), FeatureVec::new([1.0; acm_vm::FEATURE_COUNT]));
+        labeler.observe(vm, t(200), FeatureVec::new([1.0; acm_vm::FEATURE_COUNT]));
+        labeler.observe(vm, t(1), FeatureVec::new([f64::NAN; acm_vm::FEATURE_COUNT]));
+        assert_eq!(labeler.on_failure(vm, t(100)), 1);
+        assert_eq!(labeler.dropped_out_of_order(), 1);
+        assert_eq!(labeler.dropped_non_finite(), 1);
+
+        // The same admission filter guards censored rows; the historical
+        // censored_snapshots counter still counts every censored snapshot.
+        let vm2 = VmId(4);
+        labeler.observe(vm2, t(300), FeatureVec::new([1.0; acm_vm::FEATURE_COUNT]));
+        labeler.observe(
+            vm2,
+            t(2),
+            FeatureVec::new([f64::INFINITY; acm_vm::FEATURE_COUNT]),
+        );
+        let rows = labeler.on_rejuvenation(vm2, t(250));
+        assert!(rows.is_empty());
+        assert_eq!(labeler.censored_snapshots(), 2);
+        assert_eq!(labeler.dropped_out_of_order(), 2);
+        assert_eq!(labeler.dropped_non_finite(), 2);
+        assert!(labeler.censored_rows().is_empty());
+    }
+
+    #[test]
+    fn drift_config_validates_and_matches_legacy_monitor() {
+        let cfg = DriftConfig::default();
+        cfg.validate().unwrap();
+        // Defaults reproduce the historical hard-coded construction.
+        let m = cfg.monitor();
+        assert_eq!(m.capacity, 32);
+        assert_eq!(m.miss_bound, 0.5);
+        assert_eq!(m.min_samples, 8);
+
+        assert!(DriftConfig {
+            window: 0,
+            ..DriftConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig {
+            miss_bound: 0.0,
+            ..DriftConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig {
+            miss_bound: 1.5,
+            ..DriftConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(DriftConfig {
+            min_samples: 64,
+            ..DriftConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

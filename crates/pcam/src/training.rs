@@ -79,6 +79,21 @@ pub fn collect_database(
     db
 }
 
+/// Returns `db` with its target column randomly permuted: the features
+/// keep their joint distribution but carry no information about the
+/// label, so any model trained on the result is provably worthless.
+/// Used to manufacture poisoned refit candidates when exercising the
+/// lifecycle shadow gate (a promotion of such a candidate is a bug).
+pub fn shuffle_targets(db: &Dataset, rng: &mut SimRng) -> Dataset {
+    let mut targets: Vec<f64> = db.targets().to_vec();
+    rng.shuffle(&mut targets);
+    let mut out = Dataset::new(db.feature_names().iter().cloned());
+    for (row, target) in db.rows().iter().zip(targets) {
+        out.push(row.clone(), target);
+    }
+    out
+}
+
 /// One instrumented run-to-failure at a fixed arrival rate.
 fn collect_run(
     flavor: &VmFlavor,

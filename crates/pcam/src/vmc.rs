@@ -8,6 +8,7 @@
 //! region's mean time to failure (the `lastRMTTF_i` of paper Eq. 1).
 
 use crate::balancer::BalancerStrategy;
+use crate::lifecycle::{LifecycleConfig, LifecycleEvent, ModelLifecycle};
 use crate::pool::{PoolCounts, VmPool};
 use acm_ml::toolchain::RttfPredictor;
 use acm_obs::{Obs, ObsHandle, Timer, Value};
@@ -128,11 +129,13 @@ pub struct RegionEraReport {
 }
 
 /// The per-region controller.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Vmc {
     config: RegionConfig,
     pool: VmPool,
     rttf_source: RttfSource,
+    /// Versioned model registry (None unless enabled on a Model source).
+    lifecycle: Option<ModelLifecycle>,
     /// Lifetime counters.
     proactive_total: u64,
     reactive_total: u64,
@@ -158,11 +161,56 @@ impl Vmc {
             config,
             pool,
             rttf_source,
+            lifecycle: None,
             proactive_total: 0,
             reactive_total: 0,
             obs: Obs::noop(),
             balancer_timer: Timer::default(),
             rejuv_scan_timer: Timer::default(),
+        }
+    }
+
+    /// Attaches a versioned model lifecycle to this controller. Only
+    /// effective for [`RttfSource::Model`] regions — the oracle has no
+    /// model to refit — and only when `cfg.enabled` is set. `rng` seeds
+    /// the lifecycle's dedicated stream (refit jobs split from it).
+    pub fn enable_lifecycle(&mut self, cfg: LifecycleConfig, rng: SimRng) {
+        if cfg.enabled && matches!(self.rttf_source, RttfSource::Model(_)) {
+            self.lifecycle = Some(ModelLifecycle::new(cfg, rng));
+        }
+    }
+
+    /// Mutable model-registry access (chaos/test hooks only).
+    pub fn lifecycle_mut(&mut self) -> Option<&mut ModelLifecycle> {
+        self.lifecycle.as_mut()
+    }
+
+    /// The model registry, when one is attached.
+    pub fn lifecycle(&self) -> Option<&ModelLifecycle> {
+        self.lifecycle.as_ref()
+    }
+
+    /// The RTTF source currently serving predictions.
+    pub fn rttf_source(&self) -> &RttfSource {
+        &self.rttf_source
+    }
+
+    /// Era prologue for the model lifecycle: collects a due background
+    /// refit at its deterministic era boundary. No-op without a registry.
+    pub fn lifecycle_begin_era(&mut self, era_index: u64) -> Vec<LifecycleEvent> {
+        match &mut self.lifecycle {
+            Some(lc) => lc.begin_era(era_index),
+            None => Vec::new(),
+        }
+    }
+
+    /// Era epilogue for the model lifecycle: regression watch, shadow
+    /// verdict (a promotion or rollback swaps the serving predictor in
+    /// place), and possibly a new refit submission off the drift signal.
+    pub fn lifecycle_end_era(&mut self, era_index: u64, drifted: bool) -> Vec<LifecycleEvent> {
+        match &mut self.lifecycle {
+            Some(lc) => lc.end_era(era_index, drifted, &mut self.rttf_source),
+            None => Vec::new(),
         }
     }
 
@@ -307,6 +355,11 @@ impl Vmc {
             let lambda_vm = region_lambda * share;
             vm_lambdas.push((*id, lambda_vm));
             let vm = self.pool.vm_mut(*id).expect("active id");
+            // Lifecycle snapshot: the feature vector as it was when the
+            // era's serving began, labelled retroactively on outcome.
+            if let Some(lc) = &mut self.lifecycle {
+                lc.observe(*id, now, vm.features(now, lambda_vm));
+            }
             let out = vm.process_era(now, era, lambda_vm);
             offered += out.offered;
             completed += out.completed;
@@ -328,8 +381,16 @@ impl Vmc {
         let mut reactive = 0;
         let obs = &self.obs;
         let region_name = self.config.name.as_str();
+        let incumbent = match &self.rttf_source {
+            RttfSource::Model(m) => Some(m),
+            RttfSource::Oracle => None,
+        };
         for vm in self.pool.vms_mut() {
-            if matches!(vm.state(), VmState::Failed { .. }) {
+            if let VmState::Failed { at, .. } = vm.state() {
+                // The true failure instant labels this VM's snapshots.
+                if let Some(lc) = &mut self.lifecycle {
+                    lc.on_failure(vm.id(), at, incumbent);
+                }
                 vm.start_rejuvenation(end, self.config.rejuvenation_time);
                 reactive += 1;
                 if obs.enabled() {
@@ -396,6 +457,12 @@ impl Vmc {
             for (rttf, id) in candidates {
                 if spares == 0 {
                     break; // no spare to take over: keep serving
+                }
+                // Lifecycle: the snapshots of a proactively rejuvenated
+                // VM are censored at `end` (it provably survived until
+                // the rejuvenation, its true failure time is unknown).
+                if let Some(lc) = &mut self.lifecycle {
+                    lc.on_rejuvenation(id, end, incumbent);
                 }
                 self.pool
                     .vm_mut(id)
