@@ -432,7 +432,17 @@ fn byte_identity_check(report: &mut Report) {
 }
 
 fn main() {
-    let gate = std::env::args().any(|a| a == "--convergence-gate");
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--convergence-gate" => gate = true,
+            other => {
+                eprintln!("chaos_report: unknown argument {other:?}");
+                eprintln!("usage: chaos_report [--convergence-gate]");
+                std::process::exit(2);
+            }
+        }
+    }
     let mut report = Report {
         entries: Vec::new(),
         failures: Vec::new(),

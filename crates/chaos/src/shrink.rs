@@ -1,0 +1,182 @@
+//! Delta-debugging shrinker for violating fault plans.
+//!
+//! Given a plan whose run violates some invariant, [`shrink_plan`]
+//! greedily minimizes it while re-running the (deterministic) checker
+//! after every candidate cut. Three move families, tried strongest
+//! first each round:
+//!
+//! 1. **Drop a component** — a matched fault/recovery window or lone
+//!    event ([`FaultPlan::components`]); removes whole faults.
+//! 2. **Narrow a window** — halve a surviving window's duration
+//!    ([`FaultPlan::narrow_component`]).
+//! 3. **Weaken message chaos** — quantized halving with snap-to-zero
+//!    ([`FaultPlan::weaken_message`]).
+//!
+//! Termination is well-founded: every *accepted* move strictly
+//! decreases the measure `(event count, total window length in µs,
+//! message-chaos weight)` in lexicographic-sum terms, and a round that
+//! accepts nothing ends the loop. The checker is a pure function of the
+//! plan (same seed → same verdict), so shrinking is deterministic and
+//! the final plan still violates — both properties are proptested.
+
+use acm_overlay::FaultPlan;
+
+/// The result of a shrink.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized plan (still violating under the caller's check).
+    pub plan: FaultPlan,
+    /// Accepted shrink moves.
+    pub steps: u32,
+    /// Candidate plans evaluated (accepted + rejected).
+    pub attempts: u32,
+}
+
+/// Safety valve on checker invocations; generously above what the
+/// strictly-decreasing measure allows for any campaign-sized plan.
+const MAX_ATTEMPTS: u32 = 2_000;
+
+/// Greedily minimizes `plan` while `still_violates` holds. The caller's
+/// closure must be deterministic (it re-runs the world; all campaign
+/// runs are) and must return `true` for the input plan — otherwise the
+/// input is already "minimal" and is returned unchanged.
+pub fn shrink_plan<F>(plan: &FaultPlan, mut still_violates: F) -> ShrinkOutcome
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    let mut current = plan.clone();
+    let mut steps = 0u32;
+    let mut attempts = 0u32;
+    loop {
+        let mut progressed = false;
+
+        // 1. Try dropping each component, first-fit.
+        for c in current.components() {
+            if attempts >= MAX_ATTEMPTS {
+                return ShrinkOutcome {
+                    plan: current,
+                    steps,
+                    attempts,
+                };
+            }
+            let candidate = current.without_component(&c);
+            attempts += 1;
+            if still_violates(&candidate) {
+                current = candidate;
+                steps += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if progressed {
+            continue;
+        }
+
+        // 2. Try narrowing each surviving window, first-fit.
+        for c in current.components() {
+            let Some(candidate) = current.narrow_component(&c) else {
+                continue;
+            };
+            if attempts >= MAX_ATTEMPTS {
+                return ShrinkOutcome {
+                    plan: current,
+                    steps,
+                    attempts,
+                };
+            }
+            attempts += 1;
+            if still_violates(&candidate) {
+                current = candidate;
+                steps += 1;
+                progressed = true;
+                break;
+            }
+        }
+        if progressed {
+            continue;
+        }
+
+        // 3. Try weakening message chaos one quantized step.
+        if let Some(candidate) = current.weaken_message() {
+            if attempts < MAX_ATTEMPTS {
+                attempts += 1;
+                if still_violates(&candidate) {
+                    current = candidate;
+                    steps += 1;
+                    continue;
+                }
+            }
+        }
+
+        return ShrinkOutcome {
+            plan: current,
+            steps,
+            attempts,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acm_overlay::NodeId;
+    use acm_sim::time::{Duration, SimTime};
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn shrink_drops_irrelevant_components_and_keeps_the_culprit() {
+        let plan = FaultPlan::scripted(9, Vec::new())
+            .link_flap(n(0), n(1), t(10), t(40))
+            .crash_window(n(2), t(100), t(400))
+            .kill_leader_at(t(700))
+            .with_message_chaos(0.1, Duration::from_secs(1));
+        // "Violation" := the plan still contains the crash window of vmc2.
+        let culprit = |p: &FaultPlan| p.components().iter().any(|c| c.label == "crash vmc2");
+        assert!(culprit(&plan));
+        let out = shrink_plan(&plan, culprit);
+        assert!(culprit(&out.plan), "shrinking preserves the violation");
+        assert_eq!(out.plan.events.len(), 2, "only the crash window remains");
+        assert!(out.plan.message.is_inert(), "message chaos weakened away");
+        assert!(out.steps >= 3);
+        // The surviving window was narrowed to the floor.
+        let comps = out.plan.components();
+        assert_eq!(comps.len(), 1);
+        let (s, e) = (comps[0].indices[0], comps[0].indices[1]);
+        assert_eq!(
+            out.plan.events[e].at.as_micros() - out.plan.events[s].at.as_micros(),
+            1,
+            "window narrowed to the 1µs floor"
+        );
+    }
+
+    #[test]
+    fn shrink_of_a_non_violating_plan_is_identity() {
+        let plan = FaultPlan::scripted(1, Vec::new()).link_flap(n(0), n(1), t(5), t(6));
+        let out = shrink_plan(&plan, |_| false);
+        assert_eq!(out.plan, plan);
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    fn shrink_terminates_on_always_violating_checks() {
+        // Worst case: everything "violates", so every move is accepted
+        // until the measure bottoms out at the empty inert plan.
+        let plan = FaultPlan::scripted(4, Vec::new())
+            .link_flap(n(0), n(1), t(1), t(1000))
+            .crash_window(n(1), t(2), t(2000))
+            .partition_window(vec![n(2)], t(3), t(3000))
+            .kill_leader_at(t(50))
+            .with_message_chaos(0.9, Duration::from_secs(30));
+        let out = shrink_plan(&plan, |_| true);
+        assert!(out.plan.events.is_empty());
+        assert!(out.plan.message.is_inert());
+        assert!(out.attempts < MAX_ATTEMPTS);
+    }
+}

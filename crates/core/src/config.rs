@@ -279,7 +279,7 @@ impl ExperimentConfig {
             }
         }
         if let Some(plan) = &self.fault_plan {
-            plan.validate(self.regions.len() as u32)?;
+            plan.validate_in_era(self.regions.len() as u32, self.era)?;
         }
         self.degradation.validate()?;
         for spec in &self.regions {

@@ -644,6 +644,13 @@ impl ControlLoop {
                         HealthEvent::Readmitted => ("region.readmit", Vec::new()),
                     };
                     fields.insert(0, ("region", Value::from(self.vmcs[j].name().to_string())));
+                    // Invariant-checker hooks: which era the transition
+                    // landed in and which outage it belongs to (the
+                    // lifetime quarantine ordinal), so "exactly one
+                    // readmit per outage" is checkable from the event log
+                    // alone without replaying the state machine.
+                    fields.push(("era", Value::from(self.era_index)));
+                    fields.push(("outage", Value::from(tracker.quarantine_count(j))));
                     // Quarantines chain off the evidence that caused them
                     // (suspicion > loss > fault > era); probation/readmit
                     // continue the quarantine's own chain.
@@ -1165,6 +1172,7 @@ impl ControlLoop {
                     t_end.as_micros(),
                     "plan.install",
                     vec![
+                        ("era", Value::from(self.era_index)),
                         ("old", Value::from(fmt(&self.fractions))),
                         ("new", Value::from(fmt(&target))),
                     ],
@@ -1177,6 +1185,7 @@ impl ControlLoop {
                 t_end.as_micros(),
                 "plan.freeze",
                 vec![
+                    ("era", Value::from(self.era_index)),
                     ("live", Value::from(install_targets.len())),
                     ("regions", Value::from(n)),
                 ],

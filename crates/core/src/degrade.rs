@@ -113,6 +113,13 @@ pub struct HealthTracker {
     /// Eras since the last fresh report, per region.
     age: Vec<u32>,
     health: Vec<RegionHealth>,
+    /// Lifetime Live → Quarantined transitions, per region. Outage
+    /// ordinal: the k-th quarantine of a region is outage k.
+    quarantines: Vec<u32>,
+    /// Lifetime Probation/Quarantined → Live transitions, per region.
+    /// The single-readmit-per-outage invariant is exactly
+    /// `readmits <= quarantines` with equality once every outage healed.
+    readmits: Vec<u32>,
 }
 
 impl HealthTracker {
@@ -123,6 +130,8 @@ impl HealthTracker {
             hysteresis: cfg.readmit_hysteresis_eras,
             age: vec![0; n],
             health: vec![RegionHealth::Live; n],
+            quarantines: vec![0; n],
+            readmits: vec![0; n],
         }
     }
 
@@ -141,6 +150,7 @@ impl HealthTracker {
             RegionHealth::Live => {
                 if stale || suspected {
                     self.health[j] = RegionHealth::Quarantined;
+                    self.quarantines[j] = self.quarantines[j].saturating_add(1);
                     Some(HealthEvent::Quarantined { stale, suspected })
                 } else {
                     None
@@ -150,6 +160,7 @@ impl HealthTracker {
                 if fresh {
                     if self.hysteresis <= 1 {
                         self.health[j] = RegionHealth::Live;
+                        self.readmits[j] = self.readmits[j].saturating_add(1);
                         Some(HealthEvent::Readmitted)
                     } else {
                         self.health[j] = RegionHealth::Probation(1);
@@ -163,6 +174,7 @@ impl HealthTracker {
                 if fresh {
                     if streak + 1 >= self.hysteresis {
                         self.health[j] = RegionHealth::Live;
+                        self.readmits[j] = self.readmits[j].saturating_add(1);
                         Some(HealthEvent::Readmitted)
                     } else {
                         self.health[j] = RegionHealth::Probation(streak + 1);
@@ -204,6 +216,19 @@ impl HealthTracker {
     /// Number of quarantined or probationary regions.
     pub fn excluded_count(&self) -> usize {
         self.health.len() - self.live_indices().len()
+    }
+
+    /// Lifetime Live → Quarantined transitions for region `j` — the
+    /// current outage's ordinal (1-based) while the region is out.
+    pub fn quarantine_count(&self, j: usize) -> u32 {
+        self.quarantines[j]
+    }
+
+    /// Lifetime re-admissions for region `j`. Invariant checkers compare
+    /// this against [`HealthTracker::quarantine_count`]: more readmits
+    /// than quarantines means the hysteresis oscillated.
+    pub fn readmit_count(&self, j: usize) -> u32 {
+        self.readmits[j]
     }
 }
 

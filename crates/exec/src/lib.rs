@@ -623,6 +623,32 @@ impl ThreadPool {
         }
     }
 
+    /// [`ThreadPool::map_collect`] with per-item panic isolation: an item
+    /// whose closure panics yields `Err(panic message)` in its slot
+    /// instead of poisoning the whole batch. Result order is still item
+    /// order, so the output is as deterministic as `f` itself.
+    ///
+    /// Built for campaign-style sweeps (many independent runs where one
+    /// crashing run is itself a *finding*, not a reason to lose the other
+    /// N-1 results). The pool stays fully usable afterwards — the panic
+    /// never reaches the abort path of the plain collect.
+    pub fn try_map_collect<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<Result<R, String>>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.map_collect(items, move |item| {
+            // AssertUnwindSafe: the closure's captures are only observed
+            // again if the caller's `f` is itself panic-tolerant; the
+            // per-item payload is moved in and dropped on unwind.
+            match panic::catch_unwind(panic::AssertUnwindSafe(|| f(item))) {
+                Ok(r) => Ok(r),
+                Err(payload) => Err(panic_message(&*payload)),
+            }
+        })
+    }
+
     /// Runs both closures, potentially in parallel, and returns both
     /// results. `a` always runs on the calling thread; `b` runs on a
     /// worker if one picks it up before `a` finishes, else inline.
@@ -1035,6 +1061,28 @@ where
     global().map_collect(items, f)
 }
 
+/// [`ThreadPool::try_map_collect`] on the global pool.
+pub fn try_map_collect<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, String>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    global().try_map_collect(items, f)
+}
+
+/// Best-effort human-readable panic payload (the common `&str` and
+/// `String` payloads verbatim, a placeholder otherwise).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// [`ThreadPool::join`] on the global pool.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -1380,5 +1428,29 @@ mod tests {
         assert_eq!(configure_threads(0), 1);
         assert_eq!(current_threads(), 1);
         configure_threads(available_threads());
+    }
+
+    #[test]
+    fn try_map_collect_isolates_panicking_items() {
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let out = pool.try_map_collect((0..64u64).collect(), |i| {
+                if i % 13 == 5 {
+                    panic!("item {i} exploded");
+                }
+                i * 3
+            });
+            assert_eq!(out.len(), 64);
+            for (i, r) in out.iter().enumerate() {
+                if i % 13 == 5 {
+                    assert_eq!(r.as_ref().unwrap_err(), &format!("item {i} exploded"));
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u64 * 3);
+                }
+            }
+            // The pool survives: a follow-up plain collect works.
+            let again = pool.map_collect(vec![1u64, 2, 3], |v| v + 1);
+            assert_eq!(again, vec![2, 3, 4]);
+        }
     }
 }

@@ -1,8 +1,8 @@
-//! Minimal hand-rolled JSON writer.
+//! Minimal hand-rolled JSON writer and reader.
 //!
 //! The workspace's vendored `serde` is marker-traits only (its derive
 //! expands to nothing), so every exporter in the repo writes JSON by
-//! hand. This module centralises the three things they all need —
+//! hand. This module centralises the things they all need —
 //! string escaping, deterministic `f64` formatting, and an object
 //! builder — so the event log, `ExperimentTelemetry::to_jsonl` and the
 //! bench binaries share one implementation.
@@ -10,6 +10,12 @@
 //! `f64` values use Rust's `Display` (shortest round-trip
 //! representation), which is deterministic across runs and platforms;
 //! non-finite values map to `null` since JSON has no NaN/infinity.
+//!
+//! The reader half ([`parse`] → [`JsonValue`]) exists for the artifacts
+//! the workspace must load back — fault-plan reproducers in the chaos
+//! corpus, replayed scenario files. Numbers keep their raw token text
+//! ([`JsonValue::Num`]) so `u64` seeds survive the round trip exactly
+//! instead of being squeezed through an `f64`.
 
 /// Appends `s` to `out` as a JSON string literal (with surrounding
 /// quotes), escaping `"`, `\`, every C0 control character and DEL
@@ -156,6 +162,291 @@ pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
     out
 }
 
+/// One parsed JSON value.
+///
+/// Numbers are kept as their raw token text: the corpus stores `u64`
+/// seeds, and routing those through `f64` would corrupt anything above
+/// 2^53. Use [`JsonValue::as_u64`] / [`JsonValue::as_f64`] to interpret.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as the raw token text (e.g. `"-3"`, `"0.25"`, `"1e9"`).
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, fields in source order (duplicates preserved).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value as `f64`, when it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `u64`, when it is an integral number token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `i64`, when it is an integral number token.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// Field lookup on an object (first match wins).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing garbage is an error).
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let mut p = Reader {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Recursion guard: corpus files are flat, anything deeper is hostile.
+const MAX_DEPTH: usize = 64;
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Reader<'_> {
+    fn error(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or_else(|| self.error("unexpected end"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bump()? == b {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek().ok_or_else(|| self.error("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::Str(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(self.error(&format!("bad literal, wanted {text}")))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => {
+                    self.depth -= 1;
+                    return Ok(JsonValue::Obj(out));
+                }
+                _ => return Err(self.error("expected , or }")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(JsonValue::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => {
+                    self.depth -= 1;
+                    return Ok(JsonValue::Arr(out));
+                }
+                _ => return Err(self.error("expected , or ]")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = (self.bump()? as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.error("bad \\u digit"))?;
+                            code = code * 16 + d;
+                        }
+                        // The writer only \u-escapes control chars and DEL,
+                        // so surrogate pairs never round-trip through here;
+                        // reject rather than half-decode them.
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| self.error("surrogate in \\u escape"))?;
+                        out.push(c);
+                    }
+                    _ => return Err(self.error("bad escape")),
+                },
+                b if b < 0x20 => return Err(self.error("raw control char in string")),
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.error("bad utf-8 lead byte")),
+                    };
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.error("truncated utf-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.error("bad utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Validate the token parses; keep the raw text for exact ints.
+        text.parse::<f64>()
+            .map(|_| JsonValue::Num(text.to_string()))
+            .map_err(|_| self.error("bad number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,5 +500,69 @@ mod tests {
     fn empty_object_and_empty_array() {
         assert_eq!(JsonObject::new().finish(), "{}");
         assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let mut o = JsonObject::new();
+        o.field_str("kind", "chaos.corpus")
+            .field_u64("seed", u64::MAX)
+            .field_i64("delta", -42)
+            .field_f64("frac", 0.125)
+            .field_bool("ok", true)
+            .field_raw("xs", &array([fmt_f64(0.5), "null".into()]));
+        let text = o.finish();
+        let v = parse(&text).expect("writer output parses");
+        assert_eq!(
+            v.get("kind").and_then(JsonValue::as_str),
+            Some("chaos.corpus")
+        );
+        // u64::MAX survives exactly — this is why Num keeps raw text.
+        assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(u64::MAX));
+        assert_eq!(v.get("seed").unwrap().as_f64(), Some(u64::MAX as f64));
+        assert_eq!(v.get("delta").and_then(JsonValue::as_i64), Some(-42));
+        assert_eq!(v.get("frac").and_then(JsonValue::as_f64), Some(0.125));
+        assert_eq!(v.get("ok").and_then(JsonValue::as_bool), Some(true));
+        let xs = v.get("xs").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(xs[0].as_f64(), Some(0.5));
+        assert_eq!(xs[1], JsonValue::Null);
+    }
+
+    #[test]
+    fn parser_decodes_escapes_and_unicode() {
+        let original = "a\"b\\c\nd\u{1}e\u{7f}λ😀";
+        let v = parse(&escape(original)).expect("escaped string parses");
+        assert_eq!(v.as_str(), Some(original));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "{",
+            r#"{"a":1,}"#,
+            "{\"a\":\"\u{1}\"}",
+            r#"{"a":01e}"#,
+            r#"{"a":1} extra"#,
+            r#"{"a":"\q"}"#,
+            "[1,2",
+            "",
+        ] {
+            assert!(parse(bad).is_err(), "accepted: {bad:?}");
+        }
+        // Recursion guard trips instead of blowing the stack.
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn parser_accepts_scalars_and_nested_shapes() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-3.5e2").unwrap().as_f64(), Some(-350.0));
+        let v = parse(r#"{"a":{"b":[1,{"c":"d"}]}}"#).unwrap();
+        let inner = v.get("a").and_then(|a| a.get("b")).unwrap();
+        let arr = inner.as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].get("c").and_then(JsonValue::as_str), Some("d"));
     }
 }

@@ -211,9 +211,26 @@ impl FaultPlan {
         FaultPlan::scripted(seed, events)
     }
 
-    /// Checks that every referenced node id is below `node_bound` and the
-    /// message probabilities are sane.
+    /// Checks that every referenced node id is below `node_bound`, the
+    /// message probabilities are sane, and the schedule is well-formed:
+    /// no zero-length flap or crash windows (the fault and its recovery at
+    /// the same instant replay as a silent no-op), no heal of a partition
+    /// that was never cut (or cut only later), and no duplicate leader
+    /// kills at the same instant ([`ChaosLayer::apply_due`] resolves the
+    /// leader once per batch, so the second kill hits a corpse).
+    ///
+    /// A fuzzer can synthesize all of these at the window boundaries;
+    /// rejecting them here keeps "plan replayed" meaning "plan happened".
     pub fn validate(&self, node_bound: u32) -> Result<(), String> {
+        self.validate_in_era(node_bound, Duration::ZERO)
+    }
+
+    /// [`FaultPlan::validate`] with the control-era length known: two
+    /// leader kills inside the *same era* are rejected (both land in one
+    /// [`ChaosLayer::apply_due`] batch at the next era boundary and
+    /// resolve to the same victim). `era == 0` falls back to the
+    /// same-instant check only.
+    pub fn validate_in_era(&self, node_bound: u32, era: Duration) -> Result<(), String> {
         let check = |n: NodeId| -> Result<(), String> {
             if n.0 >= node_bound {
                 Err(format!(
@@ -226,6 +243,9 @@ impl FaultPlan {
         for ev in &self.events {
             match &ev.action {
                 FaultAction::FailLink(a, b) | FaultAction::RecoverLink(a, b) => {
+                    if a == b {
+                        return Err(format!("link fault is a self-loop on {a}"));
+                    }
                     check(*a)?;
                     check(*b)?;
                 }
@@ -247,8 +267,386 @@ impl FaultPlan {
                 self.message.drop_prob
             ));
         }
+        self.validate_schedule(era)
+    }
+
+    /// The schedule-shape half of validation, on the same stable time
+    /// order the [`ChaosLayer`] replays.
+    fn validate_schedule(&self, era: Duration) -> Result<(), String> {
+        let mut schedule: Vec<&FaultEvent> = self.events.iter().collect();
+        schedule.sort_by_key(|ev| ev.at);
+        // Open fault windows, keyed by subject; matched exactly the way
+        // components() pairs them (first recovery claims the first open
+        // fault of its subject).
+        let mut open_links: Vec<(LinkId, SimTime)> = Vec::new();
+        let mut open_crashes: Vec<(NodeId, SimTime)> = Vec::new();
+        let mut open_groups: Vec<(Vec<NodeId>, SimTime)> = Vec::new();
+        let mut last_kill: Option<SimTime> = None;
+        for ev in schedule {
+            match &ev.action {
+                FaultAction::FailLink(a, b) => open_links.push((LinkId::new(*a, *b), ev.at)),
+                FaultAction::RecoverLink(a, b) => {
+                    let id = LinkId::new(*a, *b);
+                    if let Some(i) = open_links.iter().position(|(l, _)| *l == id) {
+                        let (_, at) = open_links.remove(i);
+                        if at == ev.at {
+                            return Err(format!(
+                                "zero-length flap of link {a}-{b} at {}us replays as a no-op",
+                                ev.at.as_micros()
+                            ));
+                        }
+                    }
+                }
+                FaultAction::CrashNode(n) => open_crashes.push((*n, ev.at)),
+                FaultAction::RecoverNode(n) => {
+                    if let Some(i) = open_crashes.iter().position(|(m, _)| m == n) {
+                        let (_, at) = open_crashes.remove(i);
+                        if at == ev.at {
+                            return Err(format!(
+                                "zero-length crash window of {n} at {}us replays as a no-op",
+                                ev.at.as_micros()
+                            ));
+                        }
+                    }
+                }
+                FaultAction::Partition(group) => {
+                    let mut key = group.clone();
+                    key.sort_unstable();
+                    open_groups.push((key, ev.at));
+                }
+                FaultAction::Heal(group) => {
+                    let mut key = group.clone();
+                    key.sort_unstable();
+                    match open_groups.iter().position(|(g, _)| *g == key) {
+                        Some(i) => {
+                            open_groups.remove(i);
+                        }
+                        None => {
+                            return Err(format!(
+                                "heal of group {group:?} at {}us precedes its partition",
+                                ev.at.as_micros()
+                            ));
+                        }
+                    }
+                }
+                FaultAction::KillLeader => {
+                    if let Some(prev) = last_kill {
+                        let same_batch = if era.is_zero() {
+                            prev == ev.at
+                        } else {
+                            prev.as_micros() / era.as_micros()
+                                == ev.at.as_micros() / era.as_micros()
+                        };
+                        if same_batch {
+                            return Err(format!(
+                                "duplicate leader kill at {}us: both land in one era batch \
+                                 and resolve to the same victim",
+                                ev.at.as_micros()
+                            ));
+                        }
+                    }
+                    last_kill = Some(ev.at);
+                }
+            }
+        }
         Ok(())
     }
+
+    // ---- mutation ops for the delta-debugging shrinker ----------------
+
+    /// Decomposes the plan into shrinkable units: matched fault/recovery
+    /// windows (flap, crash window, partition+heal — paired the same way
+    /// [`FaultPlan::validate`] matches them: first recovery claims the
+    /// first open fault of its subject) and lone events. Components are
+    /// ordered by their earliest event time (ties by event index), so
+    /// the decomposition is deterministic for a fixed plan.
+    pub fn components(&self) -> Vec<PlanComponent> {
+        let mut order: Vec<usize> = (0..self.events.len()).collect();
+        order.sort_by_key(|&i| (self.events[i].at, i));
+        let mut open_links: Vec<(LinkId, usize)> = Vec::new();
+        let mut open_crashes: Vec<(NodeId, usize)> = Vec::new();
+        let mut open_groups: Vec<(Vec<NodeId>, usize)> = Vec::new();
+        let mut out = Vec::new();
+        for i in order {
+            match &self.events[i].action {
+                FaultAction::FailLink(a, b) => open_links.push((LinkId::new(*a, *b), i)),
+                FaultAction::RecoverLink(a, b) => {
+                    let id = LinkId::new(*a, *b);
+                    match open_links.iter().position(|(l, _)| *l == id) {
+                        Some(k) => {
+                            let (_, start) = open_links.remove(k);
+                            out.push(PlanComponent {
+                                indices: vec![start, i],
+                                label: format!("flap {a}-{b}"),
+                            });
+                        }
+                        None => out.push(PlanComponent {
+                            indices: vec![i],
+                            label: format!("recover-link {a}-{b}"),
+                        }),
+                    }
+                }
+                FaultAction::CrashNode(n) => open_crashes.push((*n, i)),
+                FaultAction::RecoverNode(n) => {
+                    match open_crashes.iter().position(|(m, _)| m == n) {
+                        Some(k) => {
+                            let (_, start) = open_crashes.remove(k);
+                            out.push(PlanComponent {
+                                indices: vec![start, i],
+                                label: format!("crash {n}"),
+                            });
+                        }
+                        None => out.push(PlanComponent {
+                            indices: vec![i],
+                            label: format!("recover-node {n}"),
+                        }),
+                    }
+                }
+                FaultAction::Partition(group) => {
+                    let mut key = group.clone();
+                    key.sort_unstable();
+                    open_groups.push((key, i));
+                }
+                FaultAction::Heal(group) => {
+                    let mut key = group.clone();
+                    key.sort_unstable();
+                    match open_groups.iter().position(|(g, _)| *g == key) {
+                        Some(k) => {
+                            let (_, start) = open_groups.remove(k);
+                            out.push(PlanComponent {
+                                indices: vec![start, i],
+                                label: format!("partition {group:?}"),
+                            });
+                        }
+                        None => out.push(PlanComponent {
+                            indices: vec![i],
+                            label: format!("heal {group:?}"),
+                        }),
+                    }
+                }
+                FaultAction::KillLeader => out.push(PlanComponent {
+                    indices: vec![i],
+                    label: "kill-leader".into(),
+                }),
+            }
+        }
+        // Unmatched opens (fault never recovered inside the plan).
+        for (l, i) in open_links {
+            out.push(PlanComponent {
+                indices: vec![i],
+                label: format!("fail-link {l:?}"),
+            });
+        }
+        for (n, i) in open_crashes {
+            out.push(PlanComponent {
+                indices: vec![i],
+                label: format!("crash-open {n}"),
+            });
+        }
+        for (g, i) in open_groups {
+            out.push(PlanComponent {
+                indices: vec![i],
+                label: format!("partition-open {g:?}"),
+            });
+        }
+        out.sort_by_key(|c| {
+            let first = *c.indices.iter().min().expect("component never empty");
+            (self.events[first].at, first)
+        });
+        out
+    }
+
+    /// The plan with every event of `component` removed. Strictly
+    /// smaller (fewer events) whenever the component is non-empty.
+    pub fn without_component(&self, component: &PlanComponent) -> FaultPlan {
+        let drop: Vec<usize> = component.indices.clone();
+        let mut plan = self.clone();
+        plan.events = plan
+            .events
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| !drop.contains(i))
+            .map(|(_, ev)| ev)
+            .collect();
+        plan
+    }
+
+    /// Halves a matched window's duration (recovery pulled toward the
+    /// fault, floor 1µs so the result stays valid). Returns `None` for
+    /// lone events or windows already at the floor — so repeated
+    /// narrowing terminates (duration strictly decreases).
+    pub fn narrow_component(&self, component: &PlanComponent) -> Option<FaultPlan> {
+        let [start, end] = component.indices[..] else {
+            return None;
+        };
+        let at = self.events[start].at;
+        let recover = self.events[end].at;
+        let len = recover.as_micros().checked_sub(at.as_micros())?;
+        let new_len = (len / 2).max(1);
+        if new_len >= len {
+            return None;
+        }
+        let mut plan = self.clone();
+        plan.events[end].at = SimTime::from_micros(at.as_micros() + new_len);
+        Some(plan)
+    }
+
+    /// Weakens message chaos one quantized step: halves `drop_prob`
+    /// (snapping to 0 below 1e-3) and halves the extra-delay bound
+    /// (snapping to zero below 1ms). Returns `None` when already inert,
+    /// so repeated weakening terminates.
+    pub fn weaken_message(&self) -> Option<FaultPlan> {
+        if self.message.is_inert() {
+            return None;
+        }
+        let mut plan = self.clone();
+        plan.message.drop_prob = match self.message.drop_prob / 2.0 {
+            p if p < 1e-3 => 0.0,
+            p => p,
+        };
+        let delay_us = self.message.extra_delay_max.as_micros() / 2;
+        plan.message.extra_delay_max = if delay_us < 1_000 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(delay_us)
+        };
+        Some(plan)
+    }
+
+    // ---- serialization (obs JSON writer / reader) ---------------------
+
+    /// Serializes the plan as one JSON object via the obs writer —
+    /// the corpus format for committed chaos reproducers.
+    pub fn to_json(&self) -> String {
+        use acm_obs::json::{array, JsonObject};
+        let node_list = |group: &[NodeId]| array(group.iter().map(|n| n.0.to_string()));
+        let events = array(self.events.iter().map(|ev| {
+            let mut o = JsonObject::new();
+            o.field_u64("at_us", ev.at.as_micros());
+            match &ev.action {
+                FaultAction::FailLink(a, b) => {
+                    o.field_str("kind", "fail_link")
+                        .field_u64("a", a.0 as u64)
+                        .field_u64("b", b.0 as u64);
+                }
+                FaultAction::RecoverLink(a, b) => {
+                    o.field_str("kind", "recover_link")
+                        .field_u64("a", a.0 as u64)
+                        .field_u64("b", b.0 as u64);
+                }
+                FaultAction::CrashNode(n) => {
+                    o.field_str("kind", "crash_node")
+                        .field_u64("node", n.0 as u64);
+                }
+                FaultAction::RecoverNode(n) => {
+                    o.field_str("kind", "recover_node")
+                        .field_u64("node", n.0 as u64);
+                }
+                FaultAction::Partition(group) => {
+                    o.field_str("kind", "partition")
+                        .field_raw("group", &node_list(group));
+                }
+                FaultAction::Heal(group) => {
+                    o.field_str("kind", "heal")
+                        .field_raw("group", &node_list(group));
+                }
+                FaultAction::KillLeader => {
+                    o.field_str("kind", "kill_leader");
+                }
+            }
+            o.finish()
+        }));
+        let mut msg = JsonObject::new();
+        msg.field_f64("drop_prob", self.message.drop_prob)
+            .field_u64("extra_delay_us", self.message.extra_delay_max.as_micros());
+        let mut plan = JsonObject::new();
+        plan.field_u64("seed", self.seed)
+            .field_raw("message", &msg.finish())
+            .field_raw("events", &events);
+        plan.finish()
+    }
+
+    /// Parses a plan serialized by [`FaultPlan::to_json`]. Exact
+    /// round-trip: `f64` text uses Rust's shortest-round-trip display
+    /// and `u64` fields are parsed from the raw token.
+    pub fn from_json(s: &str) -> Result<FaultPlan, String> {
+        use acm_obs::json::JsonValue;
+        let doc = acm_obs::json::parse(s)?;
+        let want_u64 = |v: &JsonValue, key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("fault plan JSON: missing u64 field {key:?}"))
+        };
+        let node = |v: &JsonValue, key: &str| -> Result<NodeId, String> {
+            let raw = want_u64(v, key)?;
+            u32::try_from(raw)
+                .map(NodeId)
+                .map_err(|_| format!("fault plan JSON: node id {raw} overflows u32"))
+        };
+        let group = |v: &JsonValue| -> Result<Vec<NodeId>, String> {
+            v.get("group")
+                .and_then(|g| g.as_array())
+                .ok_or_else(|| "fault plan JSON: missing group array".to_string())?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .and_then(|raw| u32::try_from(raw).ok())
+                        .map(NodeId)
+                        .ok_or_else(|| "fault plan JSON: bad node id in group".to_string())
+                })
+                .collect()
+        };
+        let seed = want_u64(&doc, "seed")?;
+        let msg = doc
+            .get("message")
+            .ok_or_else(|| "fault plan JSON: missing message".to_string())?;
+        let message = MessageChaos {
+            drop_prob: msg
+                .get("drop_prob")
+                .and_then(|p| p.as_f64())
+                .ok_or_else(|| "fault plan JSON: missing drop_prob".to_string())?,
+            extra_delay_max: Duration::from_micros(want_u64(msg, "extra_delay_us")?),
+        };
+        let mut events = Vec::new();
+        for ev in doc
+            .get("events")
+            .and_then(|e| e.as_array())
+            .ok_or_else(|| "fault plan JSON: missing events array".to_string())?
+        {
+            let at = SimTime::from_micros(want_u64(ev, "at_us")?);
+            let kind = ev
+                .get("kind")
+                .and_then(|k| k.as_str())
+                .ok_or_else(|| "fault plan JSON: event missing kind".to_string())?;
+            let action = match kind {
+                "fail_link" => FaultAction::FailLink(node(ev, "a")?, node(ev, "b")?),
+                "recover_link" => FaultAction::RecoverLink(node(ev, "a")?, node(ev, "b")?),
+                "crash_node" => FaultAction::CrashNode(node(ev, "node")?),
+                "recover_node" => FaultAction::RecoverNode(node(ev, "node")?),
+                "partition" => FaultAction::Partition(group(ev)?),
+                "heal" => FaultAction::Heal(group(ev)?),
+                "kill_leader" => FaultAction::KillLeader,
+                other => return Err(format!("fault plan JSON: unknown event kind {other:?}")),
+            };
+            events.push(FaultEvent { at, action });
+        }
+        Ok(FaultPlan {
+            seed,
+            events,
+            message,
+        })
+    }
+}
+
+/// One shrinkable unit of a [`FaultPlan`]: a matched fault/recovery
+/// window or a lone event. `indices` point into the owning plan's
+/// `events` vector (1 or 2 entries, fault first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanComponent {
+    /// Event indices in the owning plan (fault before recovery).
+    pub indices: Vec<usize>,
+    /// Short human label for shrinker logs ("flap vmc0-vmc1", …).
+    pub label: String,
 }
 
 /// What the chaos layer decided for one message.
@@ -762,5 +1160,149 @@ mod tests {
                 .expect("traced fault events carry a span field");
             assert!(matches!(span.1, Value::U64(v) if v != 0));
         }
+    }
+
+    #[test]
+    fn validate_rejects_zero_length_windows() {
+        let flap = FaultPlan::scripted(1, Vec::new()).link_flap(n(0), n(1), t(10), t(10));
+        assert!(flap.validate(3).unwrap_err().contains("zero-length flap"));
+        let crash = FaultPlan::scripted(1, Vec::new()).crash_window(n(2), t(5), t(5));
+        assert!(crash
+            .validate(3)
+            .unwrap_err()
+            .contains("zero-length crash window"));
+        // A real window passes.
+        let ok = FaultPlan::scripted(1, Vec::new()).link_flap(n(0), n(1), t(10), t(11));
+        assert!(ok.validate(3).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_heal_before_cut_and_unmatched_heal() {
+        let early = FaultPlan::scripted(1, Vec::new())
+            .kill_leader_at(t(1)) // unrelated noise
+            .partition_window(vec![n(2)], t(40), t(50));
+        assert!(early.validate(3).is_ok());
+        // Heal scheduled before its partition: stable time order sees the
+        // heal first, so there is no open group to close.
+        let mut bad = FaultPlan::scripted(1, Vec::new());
+        bad.events.push(FaultEvent {
+            at: t(10),
+            action: FaultAction::Heal(vec![n(2)]),
+        });
+        bad.events.push(FaultEvent {
+            at: t(20),
+            action: FaultAction::Partition(vec![n(2)]),
+        });
+        assert!(bad
+            .validate(3)
+            .unwrap_err()
+            .contains("precedes its partition"));
+        // A heal with no partition at all is equally malformed.
+        let mut lone = FaultPlan::scripted(1, Vec::new());
+        lone.events.push(FaultEvent {
+            at: t(10),
+            action: FaultAction::Heal(vec![n(1)]),
+        });
+        assert!(lone.validate(3).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_leader_kills_in_one_era() {
+        let same_instant = FaultPlan::scripted(1, Vec::new())
+            .kill_leader_at(t(10))
+            .kill_leader_at(t(10));
+        assert!(same_instant
+            .validate(3)
+            .unwrap_err()
+            .contains("duplicate leader kill"));
+        // Different instants, same 30s era: only the era-aware check sees it.
+        let same_era = FaultPlan::scripted(1, Vec::new())
+            .kill_leader_at(t(31))
+            .kill_leader_at(t(40));
+        assert!(same_era.validate(3).is_ok());
+        assert!(same_era
+            .validate_in_era(3, Duration::from_secs(30))
+            .unwrap_err()
+            .contains("duplicate leader kill"));
+        // Adjacent eras are fine.
+        let spread = FaultPlan::scripted(1, Vec::new())
+            .kill_leader_at(t(31))
+            .kill_leader_at(t(65));
+        assert!(spread.validate_in_era(3, Duration::from_secs(30)).is_ok());
+    }
+
+    #[test]
+    fn components_pair_windows_and_mutations_shrink() {
+        let plan = FaultPlan::scripted(7, Vec::new())
+            .link_flap(n(0), n(1), t(10), t(30))
+            .crash_window(n(2), t(5), t(25))
+            .kill_leader_at(t(50))
+            .with_message_chaos(0.2, Duration::from_secs(2));
+        let comps = plan.components();
+        assert_eq!(comps.len(), 3);
+        // Ordered by earliest event time: crash (5s), flap (10s), kill (50s).
+        assert!(comps[0].label.starts_with("crash"));
+        assert_eq!(comps[0].indices.len(), 2);
+        assert!(comps[1].label.starts_with("flap"));
+        assert_eq!(comps[2].label, "kill-leader");
+        assert_eq!(comps[2].indices.len(), 1);
+
+        let dropped = plan.without_component(&comps[1]);
+        assert_eq!(dropped.events.len(), plan.events.len() - 2);
+        assert!(dropped.validate(3).is_ok());
+
+        let narrowed = plan.narrow_component(&comps[0]).expect("window narrows");
+        let comps2 = narrowed.components();
+        let (s, e) = (comps2[0].indices[0], comps2[0].indices[1]);
+        assert_eq!(
+            narrowed.events[e].at.as_micros() - narrowed.events[s].at.as_micros(),
+            t(10).as_micros(),
+            "20s window halves to 10s"
+        );
+        assert!(
+            plan.narrow_component(&comps[2]).is_none(),
+            "lone events don't narrow"
+        );
+
+        // Narrowing terminates: duration strictly decreases to the 1µs floor.
+        let mut cur = plan.clone();
+        let mut steps = 0usize;
+        while let Some(next) = {
+            let c = cur.components();
+            cur.narrow_component(&c[0])
+        } {
+            cur = next;
+            steps += 1;
+            assert!(steps < 64, "narrowing must terminate");
+        }
+
+        // Message weakening terminates at inert.
+        let mut m = plan.clone();
+        let mut steps = 0usize;
+        while let Some(next) = m.weaken_message() {
+            m = next;
+            steps += 1;
+            assert!(steps < 64, "weakening must terminate");
+        }
+        assert!(m.message.is_inert());
+    }
+
+    #[test]
+    fn plan_json_round_trips_exactly() {
+        let plan = FaultPlan::scripted(u64::MAX - 3, Vec::new())
+            .link_flap(n(0), n(1), t(10), t(30))
+            .crash_window(n(2), t(5), t(25))
+            .partition_window(vec![n(1), n(2)], t(40), t(60))
+            .kill_leader_at(t(50))
+            .with_message_chaos(0.0625, Duration::from_millis(1500));
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("round trip parses");
+        assert_eq!(back, plan, "byte-exact plan round trip");
+        assert_eq!(back.to_json(), json, "re-serialization is stable");
+        // Malformed documents are rejected, not misparsed.
+        assert!(FaultPlan::from_json("{}").is_err());
+        assert!(FaultPlan::from_json("{\"seed\":1}").is_err());
+        let unknown = json.replace("kill_leader", "explode");
+        assert!(FaultPlan::from_json(&unknown).is_err());
     }
 }

@@ -39,7 +39,9 @@ pub mod staging;
 pub mod transport;
 
 pub use election::{ElectionOutcome, Elector};
-pub use fault::{ChaosLayer, FaultAction, FaultEvent, FaultPlan, MessageChaos, MessageFate};
+pub use fault::{
+    ChaosLayer, FaultAction, FaultEvent, FaultPlan, MessageChaos, MessageFate, PlanComponent,
+};
 pub use graph::{LinkId, NodeId, OverlayGraph};
 pub use heartbeat::{FailureDetector, HeartbeatConfig};
 pub use routing::{Route, Router};

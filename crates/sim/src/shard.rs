@@ -52,6 +52,15 @@ impl ShardLayout {
         ShardLayout { bounds }
     }
 
+    /// Splits `items` into near-equal contiguous ranges of at most
+    /// `max_chunk` items each (the batch-size dual of
+    /// [`ShardLayout::balanced`]: callers bound memory per batch instead
+    /// of fixing the batch count). `max_chunk` is clamped to at least 1.
+    pub fn chunks(items: usize, max_chunk: usize) -> Self {
+        let max_chunk = max_chunk.max(1);
+        ShardLayout::balanced(items, items.div_ceil(max_chunk).max(1))
+    }
+
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.bounds.len() - 1
@@ -204,6 +213,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn chunk_layout_bounds_every_batch() {
+        for items in [0usize, 1, 5, 64, 200, 201] {
+            for max_chunk in [1usize, 3, 32, 64, 1000] {
+                let l = ShardLayout::chunks(items, max_chunk);
+                assert_eq!(l.items(), items);
+                for (_, r) in l.iter() {
+                    assert!(
+                        r.len() <= max_chunk,
+                        "items={items} max={max_chunk} got {}",
+                        r.len()
+                    );
+                }
+            }
+        }
+        // Degenerate max_chunk clamps instead of dividing by zero.
+        assert_eq!(ShardLayout::chunks(10, 0).items(), 10);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //!   power-of-two-choices over the planned fractions, latency-aware),
 //! * [`core`] — the ACM control loop and the three load-balancing policies.
 
+pub use acm_chaos as chaos;
 pub use acm_core as core;
 pub use acm_exec as exec;
 pub use acm_ml as ml;

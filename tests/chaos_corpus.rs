@@ -1,0 +1,41 @@
+//! Replays every committed chaos-corpus reproducer as a regression test.
+//!
+//! Each entry under `crates/chaos/corpus/` is a minimal fault plan that a
+//! campaign once shrank from a violation. Entries carrying a test-only
+//! injection must replay failing-then-fixed (the injected trace violates
+//! the recorded invariant, the clean trace passes); entries without one
+//! record a real fixed bug and must simply stay clean.
+
+use acm::chaos::CorpusEntry;
+
+#[test]
+fn every_corpus_entry_replays_as_committed() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/chaos/corpus");
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("corpus directory exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "the committed corpus must not be empty");
+    for path in paths {
+        let text = std::fs::read_to_string(&path).expect("corpus entry is readable");
+        let entry = CorpusEntry::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        assert_eq!(
+            entry.to_json() + "\n",
+            text,
+            "{}: entry does not re-serialize to the committed bytes",
+            path.display()
+        );
+        assert_eq!(
+            path.file_stem().and_then(|s| s.to_str()),
+            Some(entry.name.as_str()),
+            "{}: entry name must match the file stem",
+            path.display()
+        );
+        entry
+            .verify()
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    }
+}
